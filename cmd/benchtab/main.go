@@ -1,0 +1,308 @@
+// Command benchtab regenerates the paper's evaluation: Table 1 (dataset
+// characteristics and setup/sort times) and Figures 8–11 (build time and
+// speedup of MWK and SUBTREE on the local-disk and main-memory
+// configurations), plus the ablations the paper discusses in the text
+// (BASIC vs FWK vs MWK, the window size K, and the probe designs).
+//
+// Parallel times come, by default, from the virtual-time SMP simulator fed
+// with measured unit costs (see DESIGN.md §2 — this host may not have the
+// paper's 4- and 8-way SMPs); pass -mode real to measure actual goroutine
+// wall clock instead.
+//
+// Usage:
+//
+//	benchtab -exp all -tuples 250000
+//	benchtab -exp fig10 -tuples 100000 -procs 8
+//	benchtab -exp table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/probe"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtab: ")
+	var (
+		exp      = flag.String("exp", "all", "table1 | fig8 | fig9 | fig10 | fig11 | ablation-schemes | ablation-window | ablation-probe | all")
+		tuples   = flag.Int("tuples", 100000, "tuples per dataset (the paper uses 250000)")
+		maxProcs = flag.Int("procs", 0, "override max processor count (default: 4 disk, 8 memory)")
+		maxDepth = flag.Int("max-depth", 0, "tree depth bound (0 = unlimited)")
+		mode     = flag.String("mode", "sim", "sim (virtual-time replay) | real (goroutine wall clock)")
+		traceDir = flag.String("trace-dir", "", "if set, save profiling traces as JSON here")
+		parSetup = flag.Bool("parallel-setup", false, "model attribute-parallel setup/sort in total-time figures (the paper's follow-up)")
+		csvDir   = flag.String("csv-dir", "", "if set, also write each figure's series as CSV here")
+	)
+	flag.Parse()
+
+	var m bench.Mode
+	switch *mode {
+	case "sim":
+		m = bench.Simulated
+	case "real":
+		m = bench.Real
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	r := &runner{tuples: *tuples, maxDepth: *maxDepth, mode: m,
+		maxProcs: *maxProcs, traceDir: *traceDir, parSetup: *parSetup,
+		csvDir: *csvDir}
+
+	all := *exp == "all"
+	ran := false
+	for _, e := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", r.table1},
+		{"fig8", func() error { return r.figure(8) }},
+		{"fig9", func() error { return r.figure(9) }},
+		{"fig10", func() error { return r.figure(10) }},
+		{"fig11", func() error { return r.figure(11) }},
+		{"ablation-schemes", r.ablationSchemes},
+		{"ablation-window", r.ablationWindow},
+		{"ablation-probe", r.ablationProbe},
+	} {
+		if all || *exp == e.name {
+			ran = true
+			start := time.Now()
+			if err := e.fn(); err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+			fmt.Printf("\n[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+type runner struct {
+	tuples   int
+	maxDepth int
+	maxProcs int
+	mode     bench.Mode
+	traceDir string
+	parSetup bool
+	csvDir   string
+}
+
+// writeCSV saves a figure's series under csvDir when requested.
+func (r *runner) writeCSV(name string, series []bench.Series) {
+	if r.csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		log.Printf("csv dir: %v", err)
+		return
+	}
+	path := filepath.Join(r.csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("csv: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := bench.WriteSeriesCSV(f, series); err != nil {
+		log.Printf("csv: %v", err)
+	}
+}
+
+func (r *runner) sink() func(string, *trace.Trace) {
+	if r.traceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.traceDir, 0o755); err != nil {
+		log.Printf("trace dir: %v", err)
+		return nil
+	}
+	return func(name string, tr *trace.Trace) {
+		path := filepath.Join(r.traceDir, name+".trace.json")
+		if err := tr.WriteFile(path); err != nil {
+			log.Printf("saving trace %s: %v", path, err)
+		}
+	}
+}
+
+func (r *runner) table1() error {
+	rows, err := bench.RunTable1(bench.PaperSpecs(r.tuples), core.Memory, r.maxDepth)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: dataset characteristics, and sequential setup and sorting times")
+	fmt.Println(strings.Repeat("-", 78))
+	bench.FormatTable1(os.Stdout, rows)
+	return nil
+}
+
+// figure reproduces one of the paper's four speedup figures.
+func (r *runner) figure(n int) error {
+	var (
+		attrs   int
+		storage core.Storage
+		maxP    int
+		title   string
+	)
+	switch n {
+	case 8:
+		attrs, storage, maxP = 32, core.Disk, 4
+		title = "Figure 8. Local disk access: functions 1 and 7; 32 attributes"
+	case 9:
+		attrs, storage, maxP = 64, core.Disk, 4
+		title = "Figure 9. Local disk access: functions 1 and 7; 64 attributes"
+	case 10:
+		attrs, storage, maxP = 32, core.Memory, 8
+		title = "Figure 10. Main-memory access: functions 1 and 7; 32 attributes"
+	case 11:
+		attrs, storage, maxP = 64, core.Memory, 8
+		title = "Figure 11. Main-memory access: functions 1 and 7; 64 attributes"
+	default:
+		return fmt.Errorf("no figure %d", n)
+	}
+	if r.maxProcs > 0 {
+		maxP = r.maxProcs
+	}
+	procs := make([]int, maxP)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	series, err := bench.RunFigure(bench.FigureOpts{
+		Specs: []bench.DataSpec{
+			{Function: 1, Attrs: attrs, Tuples: r.tuples, Seed: 1},
+			{Function: 7, Attrs: attrs, Tuples: r.tuples, Seed: 1},
+		},
+		Storage:       storage,
+		Procs:         procs,
+		Schemes:       []sim.Scheme{sim.MWK, sim.Subtree},
+		MaxDepth:      r.maxDepth,
+		Mode:          r.mode,
+		TraceSink:     r.sink(),
+		ParallelSetup: r.parSetup,
+	})
+	if err != nil {
+		return err
+	}
+	title += fmt.Sprintf("; %d records (%s mode)", r.tuples, modeName(r.mode))
+	bench.FormatFigure(os.Stdout, title, series)
+	r.writeCSV(fmt.Sprintf("fig%d", n), series)
+	if r.mode == bench.Real {
+		if note := bench.GOMAXPROCSNote(maxP); note != "" {
+			fmt.Println(note)
+		}
+	}
+	return nil
+}
+
+// ablationSchemes compares BASIC, FWK, MWK, SUBTREE and the record-
+// parallel baseline — the progression the paper
+// describes in §3.2 and confirms experimentally ("MWK was indeed better
+// than BASIC ... and performs as well or better than FWK").
+func (r *runner) ablationSchemes() error {
+	maxP := 4
+	if r.maxProcs > 0 {
+		maxP = r.maxProcs
+	}
+	procs := make([]int, maxP)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	series, err := bench.RunFigure(bench.FigureOpts{
+		Specs:     []bench.DataSpec{{Function: 7, Attrs: 32, Tuples: r.tuples, Seed: 1}},
+		Storage:   core.Memory,
+		Procs:     procs,
+		Schemes:   []sim.Scheme{sim.Basic, sim.FWK, sim.MWK, sim.Subtree, sim.SubtreeMWK, sim.RecPar},
+		MaxDepth:  r.maxDepth,
+		Mode:      r.mode,
+		TraceSink: r.sink(),
+	})
+	if err != nil {
+		return err
+	}
+	bench.FormatFigure(os.Stdout,
+		fmt.Sprintf("Ablation A1: all schemes (incl. SUBTREE+MWK hybrid, §3.4), F7-A32, %d records", r.tuples), series)
+	r.writeCSV("ablation-schemes", series)
+	return nil
+}
+
+// ablationWindow sweeps the window size K for MWK; the paper found K=4 to
+// work well in practice.
+func (r *runner) ablationWindow() error {
+	maxP := 4
+	if r.maxProcs > 0 {
+		maxP = r.maxProcs
+	}
+	spec := bench.DataSpec{Function: 7, Attrs: 32, Tuples: r.tuples, Seed: 1}
+	tbl, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	tr := &trace.Trace{Dataset: spec.Name()}
+	if _, _, err := core.Build(tbl, core.Config{
+		Algorithm: core.Serial, MaxDepth: r.maxDepth, Trace: tr,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("Ablation A2: MWK window size K on %s, P=%d (simulated)\n", spec.Name(), maxP)
+	fmt.Printf("  %4s %12s %14s %12s\n", "K", "build(s)", "speedup(build)", "efficiency")
+	base, err := sim.Simulate(tr, sim.MWK, 1, 4, sim.DefaultParams())
+	if err != nil {
+		return err
+	}
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := sim.Simulate(tr, sim.MWK, maxP, k, sim.DefaultParams())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %4d %12.3f %14.2f %11.1f%%\n",
+			k, res.BuildSeconds, base.BuildSeconds/res.BuildSeconds, 100*res.Efficiency())
+	}
+	return nil
+}
+
+// ablationProbe compares the three probe designs of §3.2.1 with real serial
+// builds.
+func (r *runner) ablationProbe() error {
+	spec := bench.DataSpec{Function: 7, Attrs: 32, Tuples: r.tuples, Seed: 1}
+	tbl, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation B: probe structure on %s (real serial builds)\n", spec.Name())
+	fmt.Printf("  %-14s %12s\n", "probe", "build(s)")
+	for _, pk := range []probe.Kind{probe.GlobalBit, probe.LeafHash, probe.LeafRelabel} {
+		best := -1.0
+		for run := 0; run < 3; run++ {
+			_, tm, err := core.Build(tbl, core.Config{
+				Algorithm: core.Serial, MaxDepth: r.maxDepth, Probe: pk,
+			})
+			if err != nil {
+				return err
+			}
+			if b := tm.Build.Seconds(); best < 0 || b < best {
+				best = b
+			}
+		}
+		fmt.Printf("  %-14s %12.3f\n", pk.String(), best)
+	}
+	return nil
+}
+
+func modeName(m bench.Mode) string {
+	if m == bench.Real {
+		return "real"
+	}
+	return "simulated"
+}

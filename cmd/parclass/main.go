@@ -1,0 +1,240 @@
+// Command parclass trains a decision-tree classifier on a CSV dataset (or a
+// synthetic one) with a chosen SMP scheme and reports the tree, timings and
+// accuracy; it can also save trained models, reload them to score new data,
+// and run k-fold cross-validation.
+//
+// Usage:
+//
+//	parclass -data train.csv -algorithm mwk -procs 4 -holdout 0.25 -rules
+//	parclass -synthetic F7-A32-D100K -algorithm subtree -procs 8
+//	parclass -data train.csv -save-model m.json
+//	parclass -model m.json -predict new.csv
+//	parclass -data train.csv -cv 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	parclass "repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parclass: ")
+	var (
+		data      = flag.String("data", "", "CSV dataset (header row; last column is the class)")
+		synthetic = flag.String("synthetic", "", "synthetic dataset spec Fx-Ay-DzK (e.g. F7-A32-D100K)")
+		seed      = flag.Int64("seed", 1, "synthetic generator seed")
+		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree | recpar")
+		procs     = flag.Int("procs", 1, "worker processors for parallel schemes")
+		windowK   = flag.Int("window", 4, "window size K for fwk/mwk")
+		storage   = flag.String("storage", "memory", "memory | disk (attribute-list backend)")
+		tempdir   = flag.String("tempdir", "", "directory for disk attribute lists")
+		probeKind = flag.String("probe", "bit", "bit | hash | relabel (tid probe design)")
+		minSplit  = flag.Int("min-split", 2, "do not split nodes smaller than this")
+		maxDepth  = flag.Int("max-depth", 0, "tree depth bound (0 = unlimited)")
+		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
+		holdout   = flag.Float64("holdout", 0, "fraction of rows held out for accuracy")
+		showTree  = flag.Bool("tree", false, "print the tree")
+		showRules = flag.Bool("rules", false, "print the rules")
+		showSQL   = flag.Bool("sql", false, "print the SQL CASE expression")
+		metrics   = flag.Bool("metrics", false, "print confusion matrix and per-class metrics")
+		saveModel = flag.String("save-model", "", "write the trained model (JSON) here")
+		modelPath = flag.String("model", "", "load a saved model instead of training")
+		predict   = flag.String("predict", "", "classify this CSV with the model; predictions to stdout")
+		cvFolds   = flag.Int("cv", 0, "run k-fold cross-validation instead of a single train")
+	)
+	flag.Parse()
+
+	if *modelPath != "" {
+		if err := runSavedModel(*modelPath, *predict, *data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ds, err := loadDataset(*data, *synthetic, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := parclass.Options{
+		Procs:    *procs,
+		WindowK:  *windowK,
+		TempDir:  *tempdir,
+		MinSplit: *minSplit,
+		MaxDepth: *maxDepth,
+		Prune:    *doPrune,
+	}
+	switch strings.ToLower(*algorithm) {
+	case "serial":
+		opt.Algorithm = parclass.Serial
+	case "basic":
+		opt.Algorithm = parclass.Basic
+	case "fwk":
+		opt.Algorithm = parclass.FWK
+	case "mwk":
+		opt.Algorithm = parclass.MWK
+	case "subtree":
+		opt.Algorithm = parclass.Subtree
+	case "recpar":
+		opt.Algorithm = parclass.RecordParallel
+	default:
+		log.Fatalf("unknown algorithm %q", *algorithm)
+	}
+	switch strings.ToLower(*storage) {
+	case "memory":
+		opt.Storage = parclass.Memory
+	case "disk":
+		opt.Storage = parclass.Disk
+	default:
+		log.Fatalf("unknown storage %q", *storage)
+	}
+	switch strings.ToLower(*probeKind) {
+	case "bit":
+		opt.Probe = parclass.GlobalBitProbe
+	case "hash":
+		opt.Probe = parclass.LeafHashProbe
+	case "relabel":
+		opt.Probe = parclass.LeafRelabelProbe
+	default:
+		log.Fatalf("unknown probe %q", *probeKind)
+	}
+
+	if *cvFolds > 0 {
+		res, err := parclass.CrossValidate(ds, *cvFolds, *seed, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-fold cross-validation (%v, procs=%d):\n", *cvFolds, opt.Algorithm, *procs)
+		for i, a := range res.FoldAccuracy {
+			fmt.Printf("  fold %d: %.4f\n", i+1, a)
+		}
+		fmt.Printf("mean accuracy %.4f ± %.4f\n", res.Mean, res.StdDev)
+		return
+	}
+
+	train := ds
+	var test *parclass.Dataset
+	if *holdout > 0 {
+		train, test = ds.SplitHoldout(*holdout)
+	}
+
+	model, err := parclass.Train(train, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tm := model.Timings()
+	st := model.Stats()
+	fmt.Printf("trained on %d tuples, %d attributes with %v (procs=%d)\n",
+		train.NumRows(), train.NumAttrs(), opt.Algorithm, *procs)
+	fmt.Printf("timings: setup=%v sort=%v build=%v total=%v\n",
+		tm.Setup.Round(1000), tm.Sort.Round(1000), tm.Build.Round(1000), tm.Total().Round(1000))
+	fmt.Printf("tree: %d nodes, %d leaves, %d levels, max %d leaves/level\n",
+		st.Nodes, st.Leaves, st.Levels, st.MaxLeavesPerLevel)
+	if *doPrune {
+		fmt.Printf("pruning collapsed %d subtrees\n", model.PrunedSubtrees())
+	}
+	fmt.Printf("training accuracy: %.4f\n", model.Accuracy(train))
+	if test != nil && test.NumRows() > 0 {
+		fmt.Printf("holdout accuracy (%d tuples): %.4f\n", test.NumRows(), model.Accuracy(test))
+	}
+	if imp := model.AttrImportance(); len(imp) > 0 {
+		n := len(imp)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Printf("top split attributes: %s\n", strings.Join(imp[:n], ", "))
+	}
+	if *showTree {
+		fmt.Println("\n" + model.String())
+	}
+	if *showRules {
+		fmt.Println()
+		for _, r := range model.Rules() {
+			fmt.Println(r)
+		}
+	}
+	if *metrics {
+		eva := train
+		if test != nil && test.NumRows() > 0 {
+			eva = test
+		}
+		fmt.Println("\n" + model.Evaluate(eva).Pretty)
+	}
+	if *showSQL {
+		fmt.Println("\n" + model.SQL())
+	}
+	if *saveModel != "" {
+		if err := model.SaveModel(*saveModel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+	if *predict != "" {
+		if err := scoreCSV(model, *predict); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runSavedModel loads a model and optionally scores a CSV with it.
+func runSavedModel(modelPath, predictPath, dataPath string) error {
+	model, err := parclass.LoadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	st := model.Stats()
+	fmt.Printf("loaded model: %d nodes, %d leaves, %d levels\n", st.Nodes, st.Leaves, st.Levels)
+	if dataPath != "" {
+		ds, err := parclass.LoadCSV(dataPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accuracy on %s (%d rows): %.4f\n", dataPath, ds.NumRows(), model.Accuracy(ds))
+	}
+	if predictPath != "" {
+		return scoreCSV(model, predictPath)
+	}
+	return nil
+}
+
+// scoreCSV classifies every row of a labeled CSV and prints predictions
+// plus accuracy against the CSV's own class column.
+func scoreCSV(model *parclass.Model, path string) error {
+	ds, err := parclass.LoadCSV(path)
+	if err != nil {
+		return err
+	}
+	preds := model.PredictDataset(ds)
+	for _, p := range preds {
+		fmt.Println(p)
+	}
+	fmt.Printf("# %d rows; accuracy vs CSV labels: %.4f\n", ds.NumRows(), model.Accuracy(ds))
+	return nil
+}
+
+func loadDataset(path, spec string, seed int64) (*parclass.Dataset, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("use only one of -data and -synthetic")
+	case path != "":
+		return parclass.LoadCSV(path)
+	case spec != "":
+		ds, err := bench.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return parclass.Synthetic(parclass.SyntheticConfig{
+			Function: ds.Function, Attrs: ds.Attrs, Tuples: ds.Tuples,
+			Seed: seed, Perturbation: 0.05,
+		})
+	default:
+		return nil, fmt.Errorf("need -data or -synthetic")
+	}
+}

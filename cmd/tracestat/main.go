@@ -1,0 +1,110 @@
+// Command tracestat inspects a profiling trace (produced with
+// `benchtab -trace-dir`) or profiles a synthetic dataset on the spot, then
+// prints the trace's cost anatomy and each scheme's simulated time,
+// speedup and processor efficiency. It is the diagnostic companion of the
+// virtual-time simulator.
+//
+// Usage:
+//
+//	tracestat -trace F7-A32-D100K.trace.json -procs 4
+//	tracestat -synthetic F7-A32-D20K -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+	var (
+		tracePath = flag.String("trace", "", "trace JSON file to inspect")
+		spec      = flag.String("synthetic", "", "profile this synthetic spec instead (Fx-Ay-DzK)")
+		procs     = flag.Int("procs", 4, "processor count for the per-scheme simulation")
+		windowK   = flag.Int("window", 4, "window size K")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Anatomy.
+	var e, w, s float64
+	leaves := 0
+	maxLeaves := 0
+	for i := range tr.Levels {
+		lv := &tr.Levels[i]
+		if len(lv.Leaves) > maxLeaves {
+			maxLeaves = len(lv.Leaves)
+		}
+		for j := range lv.Leaves {
+			lf := &lv.Leaves[j]
+			e += lf.TotalE()
+			w += lf.W
+			s += lf.TotalS()
+			leaves++
+		}
+	}
+	total := e + w + s
+	fmt.Printf("trace %s: %d tuples × %d attributes\n", tr.Dataset, tr.NTuples, tr.NAttrs)
+	fmt.Printf("  levels=%d  leaves=%d  max leaves/level=%d\n", len(tr.Levels), leaves, maxLeaves)
+	fmt.Printf("  setup=%.3fs sort=%.3fs build(serial)=%.3fs\n",
+		tr.SetupSeconds, tr.SortSeconds, tr.BuildSeconds)
+	fmt.Printf("  unit costs: E=%.3fs (%.1f%%)  W=%.3fs (%.1f%%)  S=%.3fs (%.1f%%)\n",
+		e, 100*e/total, w, 100*w/total, s, 100*s/total)
+
+	// Per-scheme simulation.
+	fmt.Printf("\nsimulated at P=%d (K=%d):\n", *procs, *windowK)
+	fmt.Printf("  %-8s %12s %9s %11s %8s %9s\n", "scheme", "build(s)", "speedup", "efficiency", "grabs", "barriers")
+	for _, scheme := range []sim.Scheme{sim.Basic, sim.FWK, sim.MWK, sim.Subtree} {
+		base, err := sim.Simulate(tr, scheme, 1, *windowK, sim.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sim.Simulate(tr, scheme, *procs, *windowK, sim.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %12.4f %9.2f %10.1f%% %8d %9d\n",
+			scheme, r.BuildSeconds, base.BuildSeconds/r.BuildSeconds,
+			100*r.Efficiency(), r.Grabs, r.Barriers)
+	}
+}
+
+func loadTrace(path, spec string) (*trace.Trace, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("use only one of -trace and -synthetic")
+	case path != "":
+		return trace.ReadFile(path)
+	case spec != "":
+		ds, err := bench.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := synth.Generate(synth.Config{
+			Function: ds.Function, Attrs: ds.Attrs, Tuples: ds.Tuples,
+			Seed: ds.Seed, Perturbation: 0.05,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr := &trace.Trace{Dataset: spec}
+		if _, _, err := core.Build(tbl, core.Config{Algorithm: core.Serial, Trace: tr}); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	default:
+		return nil, fmt.Errorf("need -trace or -synthetic")
+	}
+}

@@ -1,0 +1,138 @@
+package parclass
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/tree"
+)
+
+// SaveModel writes the trained model to path as versioned JSON, including
+// the schema, so it can be loaded and used for prediction without the
+// training data.
+func (m *Model) SaveModel(path string) error {
+	return m.tree.WriteFile(path)
+}
+
+// LoadModel reads a model previously written with SaveModel.
+func LoadModel(path string) (*Model, error) {
+	tr, err := tree.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{tree: tr}, nil
+}
+
+// Metrics summarizes a model's performance on a dataset.
+type Metrics struct {
+	// Accuracy is the fraction classified correctly.
+	Accuracy float64
+	// Classes lists the class names, indexing ConfusionMatrix and PerClass.
+	Classes []string
+	// ConfusionMatrix is indexed [actual][predicted].
+	ConfusionMatrix [][]int64
+	// PerClass holds one-vs-rest precision/recall/F1 per class.
+	PerClass []ClassMetrics
+	// Pretty is a ready-to-print rendering.
+	Pretty string
+}
+
+// ClassMetrics holds one class's one-vs-rest measures.
+type ClassMetrics struct {
+	Class     string
+	Support   int64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate computes the confusion matrix and per-class metrics of the
+// model on ds.
+func (m *Model) Evaluate(ds *Dataset) Metrics {
+	cm := eval.Confuse(m.tree, ds.tbl)
+	out := Metrics{
+		Accuracy:        cm.Accuracy(),
+		Classes:         cm.Classes,
+		ConfusionMatrix: cm.Counts,
+		Pretty:          cm.String(),
+	}
+	for _, pc := range cm.PerClass() {
+		out.PerClass = append(out.PerClass, ClassMetrics{
+			Class: pc.Class, Support: pc.Support,
+			Precision: pc.Precision, Recall: pc.Recall, F1: pc.F1,
+		})
+	}
+	return out
+}
+
+// CVResult summarizes a cross-validation run.
+type CVResult struct {
+	FoldAccuracy []float64
+	Mean         float64
+	StdDev       float64
+}
+
+// CrossValidate runs k-fold cross-validation of the given training options
+// over ds, with deterministic fold assignment from seed.
+func CrossValidate(ds *Dataset, k int, seed int64, opt Options) (CVResult, error) {
+	return CrossValidateContext(context.Background(), ds, k, seed, opt)
+}
+
+// CrossValidateContext is CrossValidate with cancellation.
+func CrossValidateContext(ctx context.Context, ds *Dataset, k int, seed int64, opt Options) (CVResult, error) {
+	res, err := eval.CrossValidate(ds.tbl, k, seed, func(train *dataset.Table) (*tree.Tree, error) {
+		cfg := opt.coreConfig()
+		cfg.Context = ctx
+		tr, _, err := core.Build(train, cfg)
+		return tr, err
+	})
+	if err != nil {
+		return CVResult{}, fmt.Errorf("parclass: %w", err)
+	}
+	return CVResult{FoldAccuracy: res.FoldAccuracy, Mean: res.Mean, StdDev: res.StdDev}, nil
+}
+
+// PredictProb returns the class-probability estimate for one example: the
+// training class distribution of the leaf the example lands in.
+func (m *Model) PredictProb(row map[string]string) (map[string]float64, error) {
+	tu, err := m.decodeRow(row)
+	if err != nil {
+		return nil, err
+	}
+	n := m.tree.Root
+	for !n.IsLeaf() {
+		var v float64
+		if n.Split.Kind == dataset.Continuous {
+			v = tu.Cont[n.Split.Attr]
+		} else {
+			v = float64(tu.Cat[n.Split.Attr])
+		}
+		if n.Split.GoesLeft(v) {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	out := make(map[string]float64, len(m.tree.Schema.Classes))
+	for j, name := range m.tree.Schema.Classes {
+		if n.N > 0 {
+			out[name] = float64(n.ClassCounts[j]) / float64(n.N)
+		} else {
+			out[name] = 0
+		}
+	}
+	return out, nil
+}
+
+// PredictDataset classifies every row of ds (ignoring its labels) and
+// returns the predicted class names in row order.
+func (m *Model) PredictDataset(ds *Dataset) []string {
+	out := make([]string, ds.NumRows())
+	for i := 0; i < ds.NumRows(); i++ {
+		out[i] = m.tree.Schema.Classes[m.tree.Predict(ds.tbl.Row(i))]
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package parclass
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadModel(t *testing.T) {
+	ds := synthDS(t, 2, 2000)
+	m, err := Train(ds, Options{Algorithm: MWK, Procs: 2, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != m.String() {
+		t.Fatal("loaded model renders differently")
+	}
+	if got, want := back.Accuracy(ds), m.Accuracy(ds); got != want {
+		t.Fatalf("loaded accuracy %g != %g", got, want)
+	}
+	// Predict via name-based API still works.
+	row := map[string]string{
+		"salary": "60000", "commission": "20000", "age": "45", "elevel": "e2",
+		"car": "make3", "zipcode": "zip1", "hvalue": "100000", "hyears": "10",
+		"loan": "100000",
+	}
+	a, err := m.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("prediction changed after reload: %s vs %s", a, b)
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	ds := synthDS(t, 1, 3000)
+	train, test := ds.SplitHoldout(0.3)
+	m, err := Train(train, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := m.Evaluate(test)
+	if math.Abs(metrics.Accuracy-m.Accuracy(test)) > 1e-12 {
+		t.Fatal("Evaluate accuracy disagrees with Accuracy")
+	}
+	if len(metrics.Classes) != 2 || len(metrics.PerClass) != 2 {
+		t.Fatalf("metrics shape: %+v", metrics)
+	}
+	var total int64
+	for _, row := range metrics.ConfusionMatrix {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != int64(test.NumRows()) {
+		t.Fatalf("confusion total %d != rows %d", total, test.NumRows())
+	}
+	if !strings.Contains(metrics.Pretty, "precision=") {
+		t.Fatal("pretty rendering missing metrics")
+	}
+}
+
+func TestCrossValidatePublic(t *testing.T) {
+	ds := synthDS(t, 1, 1500)
+	res, err := CrossValidate(ds, 3, 11, Options{Algorithm: Subtree, Procs: 2, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 3 || res.Mean < 0.95 {
+		t.Fatalf("CV result: %+v", res)
+	}
+	if _, err := CrossValidate(ds, 1, 0, Options{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestCrossValidateCancellation(t *testing.T) {
+	ds := synthDS(t, 7, 4000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CrossValidateContext(ctx, ds, 4, 1, Options{Algorithm: MWK, Procs: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestPredictDataset(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.PredictDataset(ds)
+	if len(preds) != ds.NumRows() {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	correct := 0
+	names := ds.ClassNames()
+	for i, p := range preds {
+		if p != names[0] && p != names[1] {
+			t.Fatalf("prediction %d is %q", i, p)
+		}
+		if p == names[ds.Table().Class(i)] {
+			correct++
+		}
+	}
+	if math.Abs(float64(correct)/float64(len(preds))-m.Accuracy(ds)) > 1e-12 {
+		t.Fatal("PredictDataset disagrees with Accuracy")
+	}
+}

@@ -1,0 +1,106 @@
+package parclass_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	parclass "repro"
+)
+
+// ExampleTrain demonstrates the basic train/predict workflow on the
+// paper's Function 1 population (the age rule).
+func ExampleTrain() {
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Tuples: 5000, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	model, err := parclass.Train(ds, parclass.Options{
+		Algorithm: parclass.MWK, // the paper's best SMP scheme
+		Procs:     4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	class, err := model.Predict(map[string]string{
+		"salary": "60000", "commission": "20000", "age": "30", "elevel": "e2",
+		"car": "make5", "zipcode": "zip4", "hvalue": "500000", "hyears": "15",
+		"loan": "200000",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(class)
+	// Output: GroupA
+}
+
+// ExampleModel_SQL shows the paper's database-integration point: a trained
+// tree converts directly into a SQL CASE expression.
+func ExampleModel_SQL() {
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Tuples: 5000, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	model, err := parclass.Train(ds, parclass.Options{MaxDepth: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(model.SQL())
+	// Output:
+	// CASE
+	//   WHEN (age < 39.997817984370286) THEN 'GroupA'
+	//   WHEN NOT (age < 39.997817984370286) THEN 'GroupB'
+	// END
+}
+
+// ExampleModel_SaveModel round-trips a model through its JSON form.
+func ExampleModel_SaveModel() {
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Tuples: 2000, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	model, err := parclass.Train(ds, parclass.Options{MaxDepth: 4})
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "parclass-example-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.json")
+	if err := model.SaveModel(path); err != nil {
+		panic(err)
+	}
+	loaded, err := parclass.LoadModel(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("identical after reload: %v\n", loaded.String() == model.String())
+	// Output: identical after reload: true
+}
+
+// ExampleCrossValidate estimates generalization accuracy with k-fold CV.
+func ExampleCrossValidate() {
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Tuples: 3000, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := parclass.CrossValidate(ds, 5, 42, parclass.Options{
+		Algorithm: parclass.Subtree, Procs: 2, MaxDepth: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("folds: %d, mean accuracy > 0.97: %v\n",
+		len(res.FoldAccuracy), res.Mean > 0.97)
+	// Output: folds: 5, mean accuracy > 0.97: true
+}

@@ -1,0 +1,238 @@
+package alist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// CombinedFileStore implements the paper's §2.3 refinement: "it is possible
+// to combine the records of different attribute lists into one physical
+// file, thus requiring a total of 4 physical files". One file per slot
+// holds every attribute's records in fixed-capacity stripes (capacity = the
+// training-set size, since an attribute list never holds more than one
+// record per tuple); the byte offset of record off of attribute a is
+// (a·capacity + off)·RecordSize. Stripes are written sparsely, so the
+// nominal file size costs no disk until records land.
+type CombinedFileStore struct {
+	dir      string
+	nattr    int
+	capacity int64
+
+	mu    sync.Mutex
+	files []*combinedSlot // [slot]
+
+	scanChunk int
+}
+
+type combinedSlot struct {
+	f    *os.File
+	used []atomic.Int64 // per attribute
+}
+
+// NewCombinedFileStore creates a combined store: one physical file per
+// slot, each striped into nattr regions of capacity records.
+func NewCombinedFileStore(dir string, nattr, slots int, capacity int) (*CombinedFileStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("alist: combined store needs positive capacity, got %d", capacity)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("alist: creating store dir: %w", err)
+	}
+	st := &CombinedFileStore{
+		dir: dir, nattr: nattr, capacity: int64(capacity),
+		files: make([]*combinedSlot, slots), scanChunk: DefaultScanChunk,
+	}
+	return st, nil
+}
+
+// NumSlots implements Store.
+func (st *CombinedFileStore) NumSlots() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.files)
+}
+
+// EnsureSlots implements Store.
+func (st *CombinedFileStore) EnsureSlots(n int) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.files) < n {
+		st.files = append(st.files, nil)
+	}
+	return nil
+}
+
+func (st *CombinedFileStore) slot(slot int) (*combinedSlot, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if slot < 0 || slot >= len(st.files) {
+		return nil, fmt.Errorf("alist: slot %d out of range [0,%d)", slot, len(st.files))
+	}
+	if st.files[slot] == nil {
+		path := filepath.Join(st.dir, fmt.Sprintf("combined_slot%04d.alist", slot))
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("alist: opening %s: %w", path, err)
+		}
+		st.files[slot] = &combinedSlot{f: f, used: make([]atomic.Int64, st.nattr)}
+	}
+	return st.files[slot], nil
+}
+
+func (st *CombinedFileStore) checkAttr(attr int) error {
+	if attr < 0 || attr >= st.nattr {
+		return fmt.Errorf("alist: attribute %d out of range [0,%d)", attr, st.nattr)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (st *CombinedFileStore) Len(attr, slot int) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if attr < 0 || attr >= st.nattr || slot < 0 || slot >= len(st.files) || st.files[slot] == nil {
+		return 0
+	}
+	return st.files[slot].used[attr].Load()
+}
+
+// Reserve implements Store.
+func (st *CombinedFileStore) Reserve(attr, slot int, n int) (int64, error) {
+	if err := st.checkAttr(attr); err != nil {
+		return 0, err
+	}
+	cs, err := st.slot(slot)
+	if err != nil {
+		return 0, err
+	}
+	off := cs.used[attr].Add(int64(n)) - int64(n)
+	if off+int64(n) > st.capacity {
+		cs.used[attr].Add(-int64(n)) // roll back the failed reservation
+		return 0, fmt.Errorf("alist: stripe overflow: attr %d slot %d needs %d records, capacity %d",
+			attr, slot, off+int64(n), st.capacity)
+	}
+	return off, nil
+}
+
+// stripeByte returns the byte position of record off in attribute a's stripe.
+func (st *CombinedFileStore) stripeByte(attr int, off int64) int64 {
+	return (int64(attr)*st.capacity + off) * RecordSize
+}
+
+// WriteAt implements Store.
+func (st *CombinedFileStore) WriteAt(attr, slot int, off int64, recs []Record) error {
+	if err := st.checkAttr(attr); err != nil {
+		return err
+	}
+	cs, err := st.slot(slot)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(len(recs)) > cs.used[attr].Load() {
+		return fmt.Errorf("alist: write [%d,%d) outside reserved [0,%d) (attr %d slot %d)",
+			off, off+int64(len(recs)), cs.used[attr].Load(), attr, slot)
+	}
+	buf := make([]byte, len(recs)*RecordSize)
+	encodeRecords(buf, recs)
+	if _, err := cs.f.WriteAt(buf, st.stripeByte(attr, off)); err != nil {
+		return fmt.Errorf("alist: writing attr %d slot %d: %w", attr, slot, err)
+	}
+	return nil
+}
+
+// Scan implements Store.
+func (st *CombinedFileStore) Scan(attr, slot int, off int64, n int, fn func([]Record) error) error {
+	if err := st.checkAttr(attr); err != nil {
+		return err
+	}
+	cs, err := st.slot(slot)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(n) > cs.used[attr].Load() {
+		return fmt.Errorf("alist: scan [%d,%d) outside [0,%d) (attr %d slot %d)",
+			off, off+int64(n), cs.used[attr].Load(), attr, slot)
+	}
+	chunk := st.scanChunk
+	buf := make([]byte, chunk*RecordSize)
+	recs := make([]Record, chunk)
+	for n > 0 {
+		c := chunk
+		if c > n {
+			c = n
+		}
+		b := buf[:c*RecordSize]
+		if _, err := cs.f.ReadAt(b, st.stripeByte(attr, off)); err != nil {
+			return fmt.Errorf("alist: reading attr %d slot %d: %w", attr, slot, err)
+		}
+		decodeRecords(recs[:c], b)
+		if err := fn(recs[:c]); err != nil {
+			return err
+		}
+		off += int64(c)
+		n -= c
+	}
+	return nil
+}
+
+// Reset implements Store. Resetting any attribute clears only that
+// attribute's stripe counter; the file is truncated (reclaiming blocks)
+// when every stripe of the slot is empty.
+func (st *CombinedFileStore) Reset(attr, slot int) error {
+	if err := st.checkAttr(attr); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if slot < 0 || slot >= len(st.files) {
+		return fmt.Errorf("alist: reset of invalid slot %d", slot)
+	}
+	cs := st.files[slot]
+	if cs == nil {
+		return nil
+	}
+	cs.used[attr].Store(0)
+	for a := range cs.used {
+		if cs.used[a].Load() != 0 {
+			return nil
+		}
+	}
+	if err := cs.f.Truncate(0); err != nil {
+		return fmt.Errorf("alist: truncating slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (st *CombinedFileStore) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for s := range st.files {
+		if st.files[s] == nil {
+			continue
+		}
+		if err := st.files[s].f.Close(); err != nil && first == nil {
+			first = err
+		}
+		st.files[s] = nil
+	}
+	return first
+}
+
+// NumPhysicalFiles reports how many physical files exist; with the
+// serial/BASIC slot scheme this is at most 4, the paper's headline count.
+func (st *CombinedFileStore) NumPhysicalFiles() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for s := range st.files {
+		if st.files[s] != nil {
+			n++
+		}
+	}
+	return n
+}

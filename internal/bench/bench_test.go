@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestDataSpec(t *testing.T) {
+	spec := DataSpec{Function: 7, Attrs: 32, Tuples: 250000, Seed: 1}
+	if spec.Name() != "F7-A32-D250K" {
+		t.Fatalf("Name = %q", spec.Name())
+	}
+	small := DataSpec{Function: 1, Attrs: 9, Tuples: 100, Seed: 1}
+	tbl, err := small.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumTuples() != 100 {
+		t.Fatal("generation wrong size")
+	}
+	specs := PaperSpecs(1000)
+	if len(specs) != 4 || specs[3].Attrs != 64 || specs[3].Function != 7 {
+		t.Fatalf("PaperSpecs = %+v", specs)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1([]DataSpec{
+		{Function: 1, Attrs: 9, Tuples: 2000, Seed: 1},
+		{Function: 7, Attrs: 9, Tuples: 2000, Seed: 1},
+	}, core.Memory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	f1, f7 := rows[0], rows[1]
+	if f1.Levels <= 0 || f7.Levels <= 0 || f1.TotalSec <= 0 {
+		t.Fatalf("degenerate rows: %+v", rows)
+	}
+	// The paper's Table 1 signature: F1 trees are tiny, F7 trees large;
+	// setup+sort dominates F1 but not F7.
+	if f7.Levels <= f1.Levels {
+		t.Fatalf("F7 levels (%d) should exceed F1 levels (%d)", f7.Levels, f1.Levels)
+	}
+	if f1.SetupPct+f1.SortPct <= f7.SetupPct+f7.SortPct {
+		t.Fatalf("setup+sort share: F1 %.1f%% should exceed F7 %.1f%%",
+			f1.SetupPct+f1.SortPct, f7.SetupPct+f7.SortPct)
+	}
+	var buf bytes.Buffer
+	FormatTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "F1-A9-D2K") {
+		t.Fatalf("formatting broken:\n%s", buf.String())
+	}
+}
+
+func TestRunFigureSimulated(t *testing.T) {
+	var gotTrace bool
+	series, err := RunFigure(FigureOpts{
+		Specs:   []DataSpec{{Function: 7, Attrs: 12, Tuples: 3000, Seed: 1}},
+		Storage: core.Memory,
+		Procs:   []int{1, 2, 4},
+		Schemes: []sim.Scheme{sim.MWK, sim.Subtree},
+		TraceSink: func(name string, tr *trace.Trace) {
+			gotTrace = true
+			if name != "F7-A12-D3K" || tr.SerialSeconds() <= 0 {
+				t.Errorf("bad trace sink call: %s", name)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotTrace {
+		t.Fatal("trace sink not called")
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s/%s: %d points", s.Dataset, s.Scheme, len(s.Points))
+		}
+		if s.Points[0].BuildSpeedup != 1 {
+			t.Fatalf("P=1 speedup = %g", s.Points[0].BuildSpeedup)
+		}
+		last := s.Points[2]
+		if last.BuildSpeedup < 1.2 || last.BuildSpeedup > 4.01 {
+			t.Fatalf("%s P=4 build speedup %.2f implausible", s.Scheme, last.BuildSpeedup)
+		}
+		if last.TotalSpeedup > last.BuildSpeedup+1e-9 {
+			t.Fatalf("total speedup (%g) cannot exceed build speedup (%g) with serial setup",
+				last.TotalSpeedup, last.BuildSpeedup)
+		}
+	}
+	var buf bytes.Buffer
+	FormatFigure(&buf, "Test figure", series)
+	out := buf.String()
+	if !strings.Contains(out, "MWK") || !strings.Contains(out, "SUBTREE") ||
+		!strings.Contains(out, "speedup(build)") {
+		t.Fatalf("figure formatting broken:\n%s", out)
+	}
+}
+
+func TestRunFigureReal(t *testing.T) {
+	series, err := RunFigure(FigureOpts{
+		Specs:   []DataSpec{{Function: 1, Attrs: 9, Tuples: 2000, Seed: 1}},
+		Storage: core.Memory,
+		Procs:   []int{1, 2},
+		Schemes: []sim.Scheme{sim.MWK},
+		Mode:    Real,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("series shape wrong: %+v", series)
+	}
+	// On a 1-core host real speedup is not asserted — only that times are
+	// positive and recorded.
+	for _, p := range series[0].Points {
+		if p.BuildSec <= 0 || p.TotalSec < p.BuildSec {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestSchemeToAlgorithm(t *testing.T) {
+	for s, want := range map[sim.Scheme]core.Algorithm{
+		sim.Basic: core.Basic, sim.FWK: core.FWK, sim.MWK: core.MWK, sim.Subtree: core.Subtree,
+	} {
+		got, _, err := schemeToAlgorithm(s)
+		if err != nil || got != want {
+			t.Fatalf("%v → %v (%v)", s, got, err)
+		}
+	}
+	if alg, inner, err := schemeToAlgorithm(sim.SubtreeMWK); err != nil ||
+		alg != core.Subtree || inner != core.MWK {
+		t.Fatalf("SubtreeMWK → %v/%v (%v)", alg, inner, err)
+	}
+	if _, _, err := schemeToAlgorithm(sim.Scheme(99)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestTreeShapeSummary(t *testing.T) {
+	f1, err := TreeShapeSummary(DataSpec{Function: 1, Attrs: 9, Tuples: 3000, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := TreeShapeSummary(DataSpec{Function: 7, Attrs: 9, Tuples: 3000, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Nodes <= f1.Nodes {
+		t.Fatalf("F7 tree (%d nodes) should dwarf F1 (%d nodes)", f7.Nodes, f1.Nodes)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	ds, err := ParseSpec("F7-A32-D250K")
+	if err != nil || ds.Function != 7 || ds.Attrs != 32 || ds.Tuples != 250000 {
+		t.Fatalf("ParseSpec = %+v, %v", ds, err)
+	}
+	ds, err = ParseSpec("f1-a9-d123")
+	if err != nil || ds.Function != 1 || ds.Attrs != 9 || ds.Tuples != 123 {
+		t.Fatalf("ParseSpec lowercase = %+v, %v", ds, err)
+	}
+	for _, bad := range []string{"", "F7", "F7-A32", "A32-D250K", "F7-A32-D250M"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}

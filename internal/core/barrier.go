@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// barrier is a reusable counting barrier for a fixed party count, the
+// synchronization point the paper draws as a horizontal bar between the E, W
+// and S phases.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+// newBarrier creates a barrier for n parties.
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait, then releases them all.
+// The barrier is immediately reusable.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runBasic implements the BASIC scheme (paper Fig. 3): per level, the E and
+// S phases are attribute-data-parallel with dynamic attribute scheduling
+// (an atomic counter replaces the paper's counter+lock), separated by
+// barriers; the W phase — winner selection and probe construction for every
+// leaf — is performed serially by a designated master while the other
+// processors wait at the barrier.
+func (e *engine) runBasic(root *leafState) error {
+	frontier := e.rootFrontier(root)
+	if len(frontier) == 0 {
+		return nil
+	}
+	P := e.cfg.Procs
+	bar := newBarrier(P)
+	var ferr errOnce
+	var eCtr, sCtr atomic.Int64
+
+	// Shared level state; written only by the master between barriers.
+	var next []*leafState
+	var done bool
+	level := 0
+
+	worker := func(id int) {
+		for {
+			// E phase: dynamically grab attributes; evaluate the grabbed
+			// attribute for all leaves of the level so each attribute's
+			// physical files are read once, sequentially.
+			for !ferr.failed() {
+				a := int(eCtr.Add(1) - 1)
+				if a >= e.nattr {
+					break
+				}
+				for _, l := range frontier {
+					if err := e.evalLeafAttr(l, a); err != nil {
+						ferr.set(err)
+						break
+					}
+				}
+			}
+			bar.wait()
+
+			// W phase: the master alone finds winners and builds probes —
+			// the sequential bottleneck MWK later removes.
+			if id == 0 && !ferr.failed() {
+				nextBase := e.pairBase(level + 1)
+				for _, l := range frontier {
+					if err := e.winnerAndProbe(l); err != nil {
+						ferr.set(err)
+						break
+					}
+					if !l.didSplit {
+						continue
+					}
+					for side, c := range l.children {
+						if c.terminal {
+							continue
+						}
+						if err := e.registerChild(c, nextBase+side); err != nil {
+							ferr.set(err)
+							break
+						}
+					}
+				}
+			}
+			bar.wait()
+
+			// S phase: dynamically grab attributes again and split.
+			for !ferr.failed() {
+				a := int(sCtr.Add(1) - 1)
+				if a >= e.nattr {
+					break
+				}
+				for _, l := range frontier {
+					if err := e.splitLeafAttr(l, a); err != nil {
+						ferr.set(err)
+						break
+					}
+				}
+			}
+			bar.wait()
+
+			// Level bookkeeping by the master.
+			if id == 0 {
+				next = nil
+				for li, l := range frontier {
+					if !ferr.failed() && l.didSplit {
+						for _, c := range l.children {
+							if !c.terminal {
+								next = append(next, childLeafState(c, li, e.nattr))
+							}
+						}
+					}
+					releaseLeaf(l)
+				}
+				curBase := e.pairBase(level)
+				if err := e.resetSlots(curBase, curBase+1); err != nil {
+					ferr.set(err)
+				}
+				if ferr.failed() {
+					next = nil
+				}
+				frontier = next
+				level++
+				eCtr.Store(0)
+				sCtr.Store(0)
+				done = len(frontier) == 0
+			}
+			bar.wait()
+			if done {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < P; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(id)
+	}
+	wg.Wait()
+	return ferr.get()
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alist"
+	"repro/internal/dataset"
+	"repro/internal/probe"
+	"repro/internal/split"
+	"repro/internal/tree"
+)
+
+// segRef locates a leaf's attribute list inside a store slot.
+type segRef struct {
+	slot int
+	off  int64
+}
+
+// childInfo describes one child produced by a leaf's split.
+type childInfo struct {
+	node     *tree.Node
+	n        int64
+	hist     []int64
+	terminal bool // purity pre-test: child will not be processed further
+	segs     []segRef
+}
+
+// leafState is the engine's working state for one frontier leaf.
+type leafState struct {
+	node      *tree.Node
+	parentIdx int // index of parent in the previous frontier; -1 for root
+	n         int64
+	hist      []int64
+	segs      []segRef
+	cands     []split.Candidate
+	win       split.Candidate
+	didSplit  bool
+	prb       probe.Leaf
+	children  [2]*childInfo
+
+	// Scheduling state for the dynamic (per-leaf) schemes.
+	eNext atomic.Int64 // next E attribute to grab
+	eDone atomic.Int64 // completed E units
+	sNext atomic.Int64 // next S attribute to grab
+	sDone atomic.Int64 // completed S units
+}
+
+// engine holds the shared state of one build.
+type engine struct {
+	cfg     Config
+	schema  *dataset.Schema
+	tbl     *dataset.Table
+	nattr   int
+	nclass  int
+	ntuples int
+	store   alist.Store
+	probes  probe.Factory
+	timings Timings
+
+	tmpDir    string // non-empty when we created it and must remove it
+	nextChild atomic.Int64
+}
+
+// Build grows a decision tree over tbl according to cfg. It returns the
+// tree and the phase timing breakdown.
+func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, Timings{}, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		schema:  tbl.Schema(),
+		tbl:     tbl,
+		nattr:   tbl.Schema().NumAttrs(),
+		nclass:  tbl.Schema().NumClasses(),
+		ntuples: tbl.NumTuples(),
+	}
+	if e.ntuples == 0 {
+		return nil, Timings{}, fmt.Errorf("core: empty training set")
+	}
+
+	slots := e.initialSlots()
+	if cfg.storeOverride != nil {
+		e.store = cfg.storeOverride
+		if err := e.store.EnsureSlots(slots); err != nil {
+			return nil, Timings{}, err
+		}
+	} else {
+		switch cfg.Storage {
+		case Memory:
+			e.store = alist.NewMemStore(e.nattr, slots)
+		case Disk:
+			dir := cfg.TempDir
+			if dir == "" {
+				d, err := os.MkdirTemp("", "parclass-alist-")
+				if err != nil {
+					return nil, Timings{}, fmt.Errorf("core: creating temp dir: %w", err)
+				}
+				dir = d
+				e.tmpDir = d
+			}
+			if cfg.CombinedFiles {
+				st, err := alist.NewCombinedFileStore(dir, e.nattr, slots, e.ntuples)
+				if err != nil {
+					return nil, Timings{}, err
+				}
+				e.store = st
+			} else {
+				st, err := alist.NewFileStore(dir, e.nattr, slots)
+				if err != nil {
+					return nil, Timings{}, err
+				}
+				e.store = st
+			}
+		}
+	}
+	defer func() {
+		e.store.Close()
+		if e.tmpDir != "" {
+			os.RemoveAll(e.tmpDir)
+		}
+	}()
+
+	fac, err := probe.NewFactory(cfg.Probe, e.ntuples)
+	if err != nil {
+		return nil, Timings{}, err
+	}
+	e.probes = fac
+
+	root, err := e.setup()
+	if err != nil {
+		return nil, Timings{}, err
+	}
+
+	t0 := time.Now()
+	switch cfg.Algorithm {
+	case Serial:
+		err = e.runSerial(root)
+	case Basic:
+		err = e.runBasic(root)
+	case FWK:
+		err = e.runFWK(root)
+	case MWK:
+		err = e.runMWK(root)
+	case Subtree:
+		err = e.runSubtree(root)
+	case RecPar:
+		err = e.runRecPar(root)
+	}
+	e.timings.Build = time.Since(t0)
+	if err != nil {
+		return nil, e.timings, err
+	}
+
+	tr := &tree.Tree{Root: root.node, Schema: e.schema}
+	renumber(tr)
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.NAttrs = e.nattr
+		e.cfg.Trace.NTuples = e.ntuples
+		e.cfg.Trace.SetupSeconds = e.timings.Setup.Seconds()
+		e.cfg.Trace.SortSeconds = e.timings.Sort.Seconds()
+		e.cfg.Trace.BuildSeconds = e.timings.Build.Seconds()
+	}
+	return tr, e.timings, nil
+}
+
+// initialSlots returns the per-attribute physical slot count the scheme
+// needs: 4 for serial/BASIC (current pair + alternate pair), 2K for the
+// windowed schemes, and a starting allocation for SUBTREE (which grows its
+// slot pool on demand, up to 4 per concurrently active group).
+func (e *engine) initialSlots() int {
+	switch e.cfg.Algorithm {
+	case FWK, MWK:
+		return 2 * e.cfg.WindowK
+	case Subtree:
+		return 4
+	default:
+		return 4
+	}
+}
+
+// pairBase returns the first slot of the level's slot group for the
+// double-buffered schemes.
+func (e *engine) pairBase(level int) int {
+	switch e.cfg.Algorithm {
+	case FWK, MWK:
+		return (level % 2) * e.cfg.WindowK
+	default:
+		return (level % 2) * 2
+	}
+}
+
+// setup builds the initial attribute lists (the paper's setup phase), sorts
+// the continuous ones (the sort phase), and writes them into slot 0 of each
+// attribute. It returns the root leaf state.
+func (e *engine) setup() (*leafState, error) {
+	histInt := e.tbl.ClassHistogram()
+	hist := make([]int64, e.nclass)
+	for j, c := range histInt {
+		hist[j] = int64(c)
+	}
+	n := int64(e.ntuples)
+
+	lists := make([][]alist.Record, e.nattr)
+
+	workers := 1
+	if e.cfg.ParallelSetup {
+		workers = e.cfg.Procs
+	}
+
+	runPhase := func(inner func(a int) error) error {
+		fn := func(a int) error {
+			if err := e.cancelled(); err != nil {
+				return err
+			}
+			return inner(a)
+		}
+		if workers == 1 {
+			for a := 0; a < e.nattr; a++ {
+				if err := fn(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var next atomic.Int64
+		var firstErr errOnce
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					a := int(next.Add(1) - 1)
+					if a >= e.nattr || firstErr.failed() {
+						return
+					}
+					if err := fn(a); err != nil {
+						firstErr.set(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return firstErr.get()
+	}
+
+	// Phase 1 (setup): create the attribute lists.
+	t0 := time.Now()
+	if err := runPhase(func(a int) error {
+		lists[a] = alist.FromTable(e.tbl, a)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.timings.Setup += time.Since(t0)
+
+	// Phase 2 (sort): pre-sort continuous lists by value.
+	t0 = time.Now()
+	if err := runPhase(func(a int) error {
+		if e.schema.Attrs[a].Kind == dataset.Continuous {
+			alist.SortByValue(lists[a])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.timings.Sort += time.Since(t0)
+
+	// Phase 3 (setup): write lists into slot 0.
+	t0 = time.Now()
+	if err := runPhase(func(a int) error {
+		off, err := e.store.Reserve(a, 0, e.ntuples)
+		if err != nil {
+			return err
+		}
+		if err := e.store.WriteAt(a, 0, off, lists[a]); err != nil {
+			return err
+		}
+		lists[a] = nil
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.timings.Setup += time.Since(t0)
+
+	rootNode := &tree.Node{
+		Level:       0,
+		N:           n,
+		ClassCounts: hist,
+		Class:       tree.MajorityClass(hist),
+	}
+	root := &leafState{
+		node:      rootNode,
+		parentIdx: -1,
+		n:         n,
+		hist:      hist,
+		segs:      make([]segRef, e.nattr),
+		cands:     make([]split.Candidate, e.nattr),
+	}
+	for a := range root.segs {
+		root.segs[a] = segRef{slot: 0, off: 0}
+	}
+	return root, nil
+}
+
+// frontierOrNil returns root as a one-leaf frontier unless the root is
+// already terminal.
+func (e *engine) rootFrontier(root *leafState) []*leafState {
+	if e.terminal(0, root.n, root.hist) {
+		return nil
+	}
+	return []*leafState{root}
+}
+
+// terminal implements the stopping rule: pure node, too few tuples, or
+// depth bound reached.
+func (e *engine) terminal(level int, n int64, hist []int64) bool {
+	if n < e.cfg.MinSplit {
+		return true
+	}
+	if e.cfg.MaxDepth > 0 && level >= e.cfg.MaxDepth {
+		return true
+	}
+	for _, c := range hist {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelled reports the build context's error, checked at work-unit
+// granularity so cancellation propagates through the ordinary error paths.
+func (e *engine) cancelled() error {
+	if e.cfg.Context == nil {
+		return nil
+	}
+	return e.cfg.Context.Err()
+}
+
+// evalLeafAttr is one E work unit: find the best split of attribute a at
+// leaf l, storing the candidate in l.cands[a].
+func (e *engine) evalLeafAttr(l *leafState, a int) error {
+	if err := e.cancelled(); err != nil {
+		return err
+	}
+	sr := l.segs[a]
+	if e.schema.Attrs[a].Kind == dataset.Continuous {
+		ev := split.NewContEval(a, l.hist)
+		if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+			ev.PushChunk(recs)
+			return nil
+		}); err != nil {
+			return err
+		}
+		l.cands[a] = ev.Finish()
+		return nil
+	}
+	card := e.schema.Attrs[a].Cardinality()
+	ev := split.NewCatEval(a, card, l.hist, e.cfg.MaxEnumCard)
+	if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+		ev.PushChunk(recs)
+		return nil
+	}); err != nil {
+		return err
+	}
+	l.cands[a] = ev.Finish()
+	return nil
+}
+
+// winnerAndProbe is the W work unit for a leaf: select the global winner
+// among the per-attribute candidates, scan the winning attribute's list to
+// build the probe and the children's class histograms, run the purity
+// pre-test, and attach child nodes. It does not assign child storage; see
+// registerChild.
+func (e *engine) winnerAndProbe(l *leafState) error {
+	if err := e.cancelled(); err != nil {
+		return err
+	}
+	best := split.Candidate{}
+	for _, c := range l.cands {
+		if c.Better(best) {
+			best = c
+		}
+	}
+	l.win = best
+	if !best.Valid {
+		return nil // leaf stays a leaf (no usable split)
+	}
+	if e.cfg.MinGiniGain > 0 &&
+		split.Gini(l.hist, l.n)-best.Gini < e.cfg.MinGiniGain {
+		l.win.Valid = false
+		return nil
+	}
+	prb := e.probes.ForLeaf(best.NLeft, best.NRight)
+	histL := make([]int64, e.nclass)
+	histR := make([]int64, e.nclass)
+	sr := l.segs[best.Attr]
+	if err := e.store.Scan(best.Attr, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+		for i := range recs {
+			left := best.GoesLeft(recs[i].Value)
+			prb.Set(recs[i].Tid, left)
+			if left {
+				histL[recs[i].Class]++
+			} else {
+				histR[recs[i].Class]++
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var nl, nr int64
+	for j := 0; j < e.nclass; j++ {
+		nl += histL[j]
+		nr += histR[j]
+	}
+	if nl != best.NLeft || nr != best.NRight {
+		return fmt.Errorf("core: winner scan of attr %d produced %d/%d records, candidate promised %d/%d",
+			best.Attr, nl, nr, best.NLeft, best.NRight)
+	}
+	prb.Seal()
+	l.prb = prb
+	l.didSplit = true
+
+	childLevel := l.node.Level + 1
+	mk := func(hist []int64, n int64) *childInfo {
+		node := &tree.Node{
+			Level:       childLevel,
+			N:           n,
+			ClassCounts: hist,
+			Class:       tree.MajorityClass(hist),
+		}
+		return &childInfo{
+			node:     node,
+			n:        n,
+			hist:     hist,
+			terminal: e.terminal(childLevel, n, hist),
+		}
+	}
+	l.children[0] = mk(histL, best.NLeft)
+	l.children[1] = mk(histR, best.NRight)
+	winCopy := best
+	l.node.Split = &winCopy
+	l.node.Left = l.children[0].node
+	l.node.Right = l.children[1].node
+	return nil
+}
+
+// registerChild reserves the child's attribute-list regions in the given
+// slot. Terminal children are never registered: their records are dropped
+// during the split, the paper's purity pre-test payoff.
+func (e *engine) registerChild(c *childInfo, slot int) error {
+	c.segs = make([]segRef, e.nattr)
+	for a := 0; a < e.nattr; a++ {
+		off, err := e.store.Reserve(a, slot, int(c.n))
+		if err != nil {
+			return err
+		}
+		c.segs[a] = segRef{slot: slot, off: off}
+	}
+	return nil
+}
+
+// splitLeafAttr is one S work unit: route attribute a's records of leaf l to
+// its children using the probe, preserving order. Records destined for
+// terminal (pure) children are dropped.
+func (e *engine) splitLeafAttr(l *leafState, a int) error {
+	if err := e.cancelled(); err != nil {
+		return err
+	}
+	if !l.didSplit {
+		return nil
+	}
+	var apL, apR *alist.Appender
+	if c := l.children[0]; !c.terminal {
+		apL = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+	}
+	if c := l.children[1]; !c.terminal {
+		apR = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+	}
+	prb := l.prb
+	sr := l.segs[a]
+	if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+		for i := range recs {
+			r := recs[i]
+			if prb.Left(r.Tid) {
+				if apL != nil {
+					r.Tid = prb.Remap(r.Tid)
+					if err := apL.Append(r); err != nil {
+						return err
+					}
+				}
+			} else if apR != nil {
+				r.Tid = prb.Remap(r.Tid)
+				if err := apR.Append(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if apL != nil {
+		if err := apL.Close(); err != nil {
+			return err
+		}
+	}
+	if apR != nil {
+		if err := apR.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// childLeafState wraps a registered, non-terminal child as a frontier leaf.
+func childLeafState(c *childInfo, parentIdx int, nattr int) *leafState {
+	return &leafState{
+		node:      c.node,
+		parentIdx: parentIdx,
+		n:         c.n,
+		hist:      c.hist,
+		segs:      c.segs,
+		cands:     make([]split.Candidate, nattr),
+	}
+}
+
+// releaseLeaf frees per-leaf resources after its split completes.
+func releaseLeaf(l *leafState) {
+	if l.prb != nil {
+		l.prb.Release()
+		l.prb = nil
+	}
+	l.segs = nil
+	l.cands = nil
+}
+
+// resetSlots empties the given slots across all attributes, making them
+// reusable for the level after next (the paper's fixed-file reuse).
+func (e *engine) resetSlots(slots ...int) error {
+	for _, s := range slots {
+		for a := 0; a < e.nattr; a++ {
+			if err := e.store.Reset(a, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renumber assigns node IDs in BFS order so that identical trees built by
+// different schemes also carry identical IDs.
+func renumber(t *tree.Tree) {
+	if t.Root == nil {
+		return
+	}
+	id := 0
+	queue := []*tree.Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.ID = id
+		id++
+		if !n.IsLeaf() {
+			queue = append(queue, n.Left, n.Right)
+		}
+	}
+}
+
+// errOnce latches the first error reported by any worker.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (o *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *errOnce) failed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err != nil
+}
+
+func (o *errOnce) get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}

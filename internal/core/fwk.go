@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+)
+
+// runFWK implements the Fixed-Window-K scheme (paper Fig. 4). Leaves of a
+// level are processed in blocks of K. Within a block, processors grab
+// (leaf, attribute) E units dynamically, leaf by leaf; the last processor to
+// finish a leaf's evaluation immediately builds that leaf's probe (W),
+// overlapping W_i with E_{i+1..K} — the task pipelining that removes BASIC's
+// serial W bottleneck. One barrier per block separates evaluation from the
+// block's split phase. Children are assigned to the 2K per-attribute file
+// slots with the purity pre-test and hole-free relabeling of §3.2.2.
+func (e *engine) runFWK(root *leafState) error {
+	frontier := e.rootFrontier(root)
+	if len(frontier) == 0 {
+		return nil
+	}
+	P := e.cfg.Procs
+	K := e.cfg.WindowK
+	bar := newBarrier(P)
+	var ferr errOnce
+
+	var next []*leafState
+	var done bool
+	level := 0
+
+	worker := func(id int) {
+		for {
+			// Snapshot the frontier once per level: the master reassigns
+			// the shared variable at level end, and the block-loop
+			// condition must not observe that write mid-level.
+			cur := frontier
+			nextBase := e.pairBase(level + 1)
+			for blkStart := 0; blkStart < len(cur); blkStart += K {
+				blk := cur[blkStart:min(blkStart+K, len(cur))]
+
+				// E phase with pipelined W: walk the block's leaves in
+				// order, grabbing attributes dynamically within each leaf.
+				for _, l := range blk {
+					for !ferr.failed() {
+						a := l.eNext.Add(1) - 1
+						if a >= int64(e.nattr) {
+							break
+						}
+						if err := e.evalLeafAttr(l, int(a)); err != nil {
+							ferr.set(err)
+							break
+						}
+						if l.eDone.Add(1) == int64(e.nattr) {
+							// Last processor finishing on this leaf: do W
+							// now, while others evaluate later leaves.
+							if err := e.leafWinnerRegister(l, nextBase); err != nil {
+								ferr.set(err)
+							}
+						}
+					}
+				}
+				// End-of-block synchronization (one barrier per K-block).
+				bar.wait()
+
+				// S phase for the whole block, (leaf, attribute) units.
+				for _, l := range blk {
+					for !ferr.failed() {
+						a := l.sNext.Add(1) - 1
+						if a >= int64(e.nattr) {
+							break
+						}
+						if err := e.splitLeafAttr(l, int(a)); err != nil {
+							ferr.set(err)
+						}
+						if l.sDone.Add(1) == int64(e.nattr) {
+							releaseLeaf(l)
+						}
+					}
+				}
+				bar.wait()
+			}
+
+			// Level bookkeeping by the master.
+			if id == 0 {
+				next = e.windowLevelEnd(frontier, level, &ferr)
+				frontier = next
+				level++
+				e.nextChild.Store(0)
+				done = len(frontier) == 0
+			}
+			bar.wait()
+			if done {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < P; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(id)
+	}
+	wg.Wait()
+	return ferr.get()
+}
+
+// leafWinnerRegister performs the W step for one leaf and assigns its valid
+// (non-pure) children to window file slots. Valid children across the level
+// are numbered consecutively by an atomic counter and placed round-robin in
+// the K next-level slots — the relabeling scheme that leaves no holes in the
+// K-block schedule.
+func (e *engine) leafWinnerRegister(l *leafState, nextBase int) error {
+	if err := e.winnerAndProbe(l); err != nil {
+		return err
+	}
+	if !l.didSplit {
+		return nil
+	}
+	for _, c := range l.children {
+		if c.terminal {
+			continue
+		}
+		idx := e.nextChild.Add(1) - 1
+		slot := nextBase + int(idx%int64(e.cfg.WindowK))
+		if err := e.registerChild(c, slot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowLevelEnd builds the next frontier in leaf order and recycles the
+// level's file slots; shared by FWK and MWK.
+func (e *engine) windowLevelEnd(frontier []*leafState, level int, ferr *errOnce) []*leafState {
+	var next []*leafState
+	for li, l := range frontier {
+		if !ferr.failed() && l.didSplit {
+			for _, c := range l.children {
+				if !c.terminal {
+					next = append(next, childLeafState(c, li, e.nattr))
+				}
+			}
+		}
+		releaseLeaf(l)
+	}
+	curBase := e.pairBase(level)
+	slots := make([]int, e.cfg.WindowK)
+	for i := range slots {
+		slots[i] = curBase + i
+	}
+	if err := e.resetSlots(slots...); err != nil {
+		ferr.set(err)
+	}
+	if ferr.failed() {
+		return nil
+	}
+	return next
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+)
+
+// runMWK implements the Moving-Window-K scheme (paper Fig. 6). It removes
+// FWK's per-block barrier: before working on leaf i, a processor waits on a
+// per-leaf condition (here: a closed channel, Go's condition-variable
+// idiom) until leaf i−K has been completed, so at most K leaves are in
+// flight; the last processor to finish a leaf's evaluation builds its probe
+// and signals the leaf done. This exposes the extra pipeline parallelism
+// between adjacent blocks ({R1,L2} in the paper's example) at the price of
+// one lock synchronization per leaf per level.
+func (e *engine) runMWK(root *leafState) error {
+	frontier := e.rootFrontier(root)
+	if len(frontier) == 0 {
+		return nil
+	}
+	P := e.cfg.Procs
+	K := e.cfg.WindowK
+	bar := newBarrier(P)
+	var ferr errOnce
+
+	// abort unblocks all condition waits when a worker hits an error.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(err error) {
+		ferr.set(err)
+		abortOnce.Do(func() { close(abort) })
+	}
+	waitSig := func(ch chan struct{}) {
+		select {
+		case <-ch:
+		case <-abort:
+		}
+	}
+
+	var next []*leafState
+	var doneCh []chan struct{}
+	var done bool
+	level := 0
+	doneCh = makeSignals(len(frontier))
+
+	// splitGrab executes leaf l's remaining S units dynamically.
+	splitGrab := func(l *leafState) {
+		for !ferr.failed() {
+			a := l.sNext.Add(1) - 1
+			if a >= int64(e.nattr) {
+				return
+			}
+			if err := e.splitLeafAttr(l, int(a)); err != nil {
+				fail(err)
+			}
+			if l.sDone.Add(1) == int64(e.nattr) {
+				releaseLeaf(l)
+			}
+		}
+	}
+
+	worker := func(id int) {
+		for {
+			nextBase := e.pairBase(level + 1)
+			for i, l := range frontier {
+				// Moving-window throttle: leaf i waits for leaf i−K.
+				if i >= K {
+					waitSig(doneCh[i-K])
+				}
+				// E units of leaf i, grabbed dynamically.
+				for !ferr.failed() {
+					a := l.eNext.Add(1) - 1
+					if a >= int64(e.nattr) {
+						break
+					}
+					if err := e.evalLeafAttr(l, int(a)); err != nil {
+						fail(err)
+						break
+					}
+					if l.eDone.Add(1) == int64(e.nattr) {
+						// Last processor finishing leaf i: W, then signal
+						// that the i-th leaf is done.
+						if err := e.leafWinnerRegister(l, nextBase); err != nil {
+							fail(err)
+						}
+						close(doneCh[i])
+					}
+				}
+				// S units of leaf i require W_i; take them now only if the
+				// leaf is already signalled — otherwise keep moving so W_i
+				// overlaps E_{i+1..i+K} (the pipelining MWK exists for)
+				// and finish them in the completion sweep below.
+				select {
+				case <-doneCh[i]:
+					splitGrab(l)
+				default:
+				}
+			}
+			// Completion sweep: every leaf's W has been signalled by now
+			// (all E units above have run), so the deferred S units can
+			// be grabbed to exhaustion.
+			for i, l := range frontier {
+				waitSig(doneCh[i])
+				splitGrab(l)
+			}
+			bar.wait()
+
+			if id == 0 {
+				next = e.windowLevelEnd(frontier, level, &ferr)
+				frontier = next
+				level++
+				e.nextChild.Store(0)
+				doneCh = makeSignals(len(frontier))
+				done = len(frontier) == 0
+			}
+			bar.wait()
+			if done {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < P; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(id)
+	}
+	wg.Wait()
+	return ferr.get()
+}
+
+func makeSignals(n int) []chan struct{} {
+	chs := make([]chan struct{}, n)
+	for i := range chs {
+		chs[i] = make(chan struct{})
+	}
+	return chs
+}

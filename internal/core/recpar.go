@@ -1,0 +1,388 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/alist"
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/tree"
+)
+
+// runRecPar implements record data parallelism — the scheme used by
+// parallel SPRINT on distributed-memory machines, which the paper argues is
+// "not well suited to SMP systems since it is likely to cause excessive
+// synchronization, and replication of data structures". It is provided as
+// the comparison baseline: every processor works on a contiguous 1/P chunk
+// of *every* attribute list.
+//
+//   - E (continuous): pass A gathers per-chunk class histograms; after a
+//     barrier each processor seeds a chunk evaluator with the prefix
+//     histogram (replicated Cbelow state) and pass B scans again to score
+//     candidates, including the chunk-boundary mid-point; a reduction picks
+//     the best. Two barriers and two scans per (leaf, attribute) unit.
+//   - E (categorical): per-chunk count matrices merged by the master.
+//   - W: processors set probe bits for their chunk of the winning list and
+//     gather partial child histograms (requires the shared atomic global
+//     bit probe); the master merges and registers children.
+//   - S: pass 1 counts each chunk's left records, a barrier publishes the
+//     counts, prefix sums give every chunk its disjoint output regions, and
+//     pass 2 writes them. Again two barriers and two scans per unit.
+//
+// The per-unit barrier count — Θ(leaves × attributes) per level versus
+// BASIC's 4 per level — is exactly the synchronization overhead the paper
+// predicts for this design on an SMP.
+func (e *engine) runRecPar(root *leafState) error {
+	frontier := e.rootFrontier(root)
+	if len(frontier) == 0 {
+		return nil
+	}
+	P := e.cfg.Procs
+	bar := newBarrier(P)
+	var ferr errOnce
+
+	// Per-worker scratch slots; slot w is written only by worker w between
+	// barriers and read by others only after the next barrier.
+	hists := make([][]int64, P) // pass-A chunk class histograms
+	histL := make([][]int64, P) // W partial left histograms
+	histR := make([][]int64, P) // W partial right histograms
+	for w := 0; w < P; w++ {
+		hists[w] = make([]int64, e.nclass)
+		histL[w] = make([]int64, e.nclass)
+		histR[w] = make([]int64, e.nclass)
+	}
+	type chunkVal struct {
+		first, last float64
+		n           int
+	}
+	vals := make([]chunkVal, P)         // pass-A chunk boundary values
+	cands := make([]split.Candidate, P) // pass-B chunk candidates
+	cats := make([]*split.CatEval, P)   // categorical chunk matrices
+	lefts := make([]int64, P)           // S pass-1 chunk left counts
+
+	var next []*leafState
+	var done bool
+	level := 0
+
+	// chunk returns worker w's record range within a leaf of n records.
+	chunk := func(n int64, w int) (int64, int64) {
+		lo := n * int64(w) / int64(P)
+		hi := n * int64(w+1) / int64(P)
+		return lo, hi
+	}
+
+	worker := func(id int) {
+		for {
+			for _, l := range frontier {
+				lo, hi := chunk(l.n, id)
+
+				// ---- E phase: one unit per attribute, chunk-parallel.
+				// Every unit performs exactly two barriers regardless of
+				// error state, so workers that observe a failure at
+				// different moments can never diverge in barrier counts.
+				for a := 0; a < e.nattr; a++ {
+					sr := l.segs[a]
+					if e.schema.Attrs[a].Kind == dataset.Continuous {
+						// Pass A: chunk class histogram and boundary values.
+						if !ferr.failed() {
+							h := hists[id]
+							for j := range h {
+								h[j] = 0
+							}
+							v := chunkVal{}
+							if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+								for i := range recs {
+									h[recs[i].Class]++
+								}
+								if v.n == 0 {
+									v.first = recs[0].Value
+								}
+								v.last = recs[len(recs)-1].Value
+								v.n += len(recs)
+								return nil
+							}); err != nil {
+								ferr.set(err)
+							}
+							vals[id] = v
+						}
+						bar.wait()
+						if !ferr.failed() {
+							// Prefix histogram and previous value (replicated
+							// per processor — the paper's "replication of
+							// data structures").
+							below := make([]int64, e.nclass)
+							prev := 0.0
+							started := false
+							for w := 0; w < id; w++ {
+								for j := range below {
+									below[j] += hists[w][j]
+								}
+								if vals[w].n > 0 {
+									prev = vals[w].last
+									started = true
+								}
+							}
+							// Pass B: score candidates within the chunk.
+							ev := split.NewContEvalSeeded(a, l.hist, below, prev, started)
+							if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+								ev.PushChunk(recs)
+								return nil
+							}); err != nil {
+								ferr.set(err)
+							}
+							cands[id] = ev.Finish()
+						}
+						bar.wait()
+						if id == 0 && !ferr.failed() {
+							best := split.Candidate{}
+							for w := 0; w < P; w++ {
+								if cands[w].Better(best) {
+									best = cands[w]
+								}
+							}
+							l.cands[a] = best
+						}
+						continue
+					}
+					// Categorical: per-chunk count matrices, master merge.
+					if !ferr.failed() {
+						card := e.schema.Attrs[a].Cardinality()
+						ev := split.NewCatEval(a, card, l.hist, e.cfg.MaxEnumCard)
+						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+							ev.PushChunk(recs)
+							return nil
+						}); err != nil {
+							ferr.set(err)
+						}
+						cats[id] = ev
+					}
+					bar.wait()
+					if id == 0 && !ferr.failed() {
+						for w := 1; w < P; w++ {
+							cats[0].Merge(cats[w])
+						}
+						l.cands[a] = cats[0].Finish()
+					}
+					// Close the unit before cats slots are reused by the
+					// next categorical attribute.
+					bar.wait()
+				}
+				bar.wait()
+
+				// ---- W phase: chunk-parallel probe construction ----
+				if id == 0 && !ferr.failed() {
+					best := split.Candidate{}
+					for _, c := range l.cands {
+						if c.Better(best) {
+							best = c
+						}
+					}
+					l.win = best
+					if best.Valid && e.cfg.MinGiniGain > 0 &&
+						split.Gini(l.hist, l.n)-best.Gini < e.cfg.MinGiniGain {
+						l.win.Valid = false
+					}
+					if l.win.Valid {
+						l.prb = e.probes.ForLeaf(best.NLeft, best.NRight)
+					}
+				}
+				bar.wait()
+				if l.win.Valid && !ferr.failed() {
+					best := l.win
+					hl, hr := histL[id], histR[id]
+					for j := 0; j < e.nclass; j++ {
+						hl[j], hr[j] = 0, 0
+					}
+					sr := l.segs[best.Attr]
+					if err := e.store.Scan(best.Attr, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+						for i := range recs {
+							left := best.GoesLeft(recs[i].Value)
+							l.prb.Set(recs[i].Tid, left)
+							if left {
+								hl[recs[i].Class]++
+							} else {
+								hr[recs[i].Class]++
+							}
+						}
+						return nil
+					}); err != nil {
+						ferr.set(err)
+					}
+				}
+				bar.wait()
+				if id == 0 && l.win.Valid && !ferr.failed() {
+					if err := e.finishRecParW(l, histL, histR, level); err != nil {
+						ferr.set(err)
+					}
+				}
+				bar.wait()
+
+				// ---- S phase: one unit per attribute, chunk-parallel;
+				// two unconditional barriers per unit (see E phase note).
+				if !l.didSplit {
+					continue
+				}
+				for a := 0; a < e.nattr; a++ {
+					// Pass 1: count the chunk's left records.
+					var nl int64
+					if !ferr.failed() {
+						sr := l.segs[a]
+						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+							for i := range recs {
+								if l.prb.Left(recs[i].Tid) {
+									nl++
+								}
+							}
+							return nil
+						}); err != nil {
+							ferr.set(err)
+						}
+						lefts[id] = nl
+					}
+					bar.wait()
+					if !ferr.failed() {
+						// Disjoint output regions from the prefix sums.
+						var prefL int64
+						for w := 0; w < id; w++ {
+							prefL += lefts[w]
+						}
+						prefR := lo - prefL
+						if err := e.splitChunk(l, a, lo, hi, prefL, prefR, nl); err != nil {
+							ferr.set(err)
+						}
+					}
+					bar.wait()
+				}
+			}
+			bar.wait()
+
+			if id == 0 {
+				next = nil
+				for li, l := range frontier {
+					if !ferr.failed() && l.didSplit {
+						for _, c := range l.children {
+							if !c.terminal {
+								next = append(next, childLeafState(c, li, e.nattr))
+							}
+						}
+					}
+					releaseLeaf(l)
+				}
+				curBase := e.pairBase(level)
+				if err := e.resetSlots(curBase, curBase+1); err != nil {
+					ferr.set(err)
+				}
+				if ferr.failed() {
+					next = nil
+				}
+				frontier = next
+				level++
+				done = len(frontier) == 0
+			}
+			bar.wait()
+			if done {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < P; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(id)
+	}
+	wg.Wait()
+	return ferr.get()
+}
+
+// finishRecParW merges the chunk histograms, seals the probe, attaches
+// child nodes with the purity pre-test, and registers storage — the serial
+// tail of the record-parallel W phase.
+func (e *engine) finishRecParW(l *leafState, histL, histR [][]int64, level int) error {
+	hl := make([]int64, e.nclass)
+	hr := make([]int64, e.nclass)
+	for w := range histL {
+		for j := 0; j < e.nclass; j++ {
+			hl[j] += histL[w][j]
+			hr[j] += histR[w][j]
+		}
+	}
+	l.prb.Seal()
+	best := l.win
+	childLevel := l.node.Level + 1
+	mk := func(hist []int64, n int64) *childInfo {
+		node := &tree.Node{
+			Level:       childLevel,
+			N:           n,
+			ClassCounts: hist,
+			Class:       tree.MajorityClass(hist),
+		}
+		return &childInfo{node: node, n: n, hist: hist,
+			terminal: e.terminal(childLevel, n, hist)}
+	}
+	l.children[0] = mk(hl, best.NLeft)
+	l.children[1] = mk(hr, best.NRight)
+	winCopy := best
+	l.node.Split = &winCopy
+	l.node.Left = l.children[0].node
+	l.node.Right = l.children[1].node
+	l.didSplit = true
+
+	nextBase := e.pairBase(level + 1)
+	for side, c := range l.children {
+		if c.terminal {
+			continue
+		}
+		if err := e.registerChild(c, nextBase+side); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitChunk writes one chunk's records into the children's reserved
+// regions at the offsets determined by the prefix sums.
+func (e *engine) splitChunk(l *leafState, a int, lo, hi, prefL, prefR, nl int64) error {
+	var apL, apR *alist.Appender
+	if c := l.children[0]; !c.terminal {
+		apL = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off+prefL, int(nl))
+	}
+	if c := l.children[1]; !c.terminal {
+		apR = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off+prefR, int(hi-lo-nl))
+	}
+	prb := l.prb
+	sr := l.segs[a]
+	if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+		for i := range recs {
+			r := recs[i]
+			if prb.Left(r.Tid) {
+				if apL != nil {
+					if err := apL.Append(r); err != nil {
+						return err
+					}
+				}
+			} else if apR != nil {
+				if err := apR.Append(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if apL != nil {
+		if err := apL.Close(); err != nil {
+			return err
+		}
+	}
+	if apR != nil {
+		if err := apR.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// slotPool hands out pairs of store slots to subtree groups and recycles
+// them, growing the store on demand. At most 4 slots per concurrently
+// active group are live (a read pair and a write pair), matching the
+// paper's "up to P files per attribute" bound for SUBTREE.
+type slotPool struct {
+	mu   sync.Mutex
+	e    *engine
+	free [][2]int
+	next int
+}
+
+func newSlotPool(e *engine, firstUnused int) *slotPool {
+	return &slotPool{e: e, next: firstUnused}
+}
+
+func (p *slotPool) acquire() ([2]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		pair := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pair, nil
+	}
+	pair := [2]int{p.next, p.next + 1}
+	p.next += 2
+	if err := p.e.store.EnsureSlots(p.next); err != nil {
+		return [2]int{}, err
+	}
+	return pair, nil
+}
+
+func (p *slotPool) release(pair [2]int) error {
+	if err := p.e.resetSlots(pair[0], pair[1]); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.free = append(p.free, pair)
+	p.mu.Unlock()
+	return nil
+}
+
+// sharedPair is a reference-counted slot pair: when a group splits, both
+// subgroups read their parent lists from the same pair, which returns to
+// the pool only after the last reader finishes its level.
+type sharedPair struct {
+	pair [2]int
+	refs atomic.Int32
+	pool *slotPool
+}
+
+func newSharedPair(pool *slotPool, pair [2]int, refs int32) *sharedPair {
+	sp := &sharedPair{pair: pair, pool: pool}
+	sp.refs.Store(refs)
+	return sp
+}
+
+func (sp *sharedPair) release() error {
+	if sp.refs.Add(-1) == 0 {
+		return sp.pool.release(sp.pair)
+	}
+	return nil
+}
+
+// stGroup is a processor group working on a disjoint part of the leaf
+// frontier. workers[0] (the smallest id) is the group master.
+type stGroup struct {
+	workers   []int
+	frontier  []*leafState
+	readPair  *sharedPair // where the frontier's lists live
+	writePair [2]int      // private slots the children are written into
+	bar       *barrier
+	eCtr      atomic.Int64
+	sCtr      atomic.Int64
+	doneCh    []chan struct{} // per-leaf W-done signals (MWK subroutine)
+}
+
+// newStGroup builds a group, preparing the per-leaf signal channels when
+// the MWK subroutine is selected.
+func (e *engine) newStGroup(workers []int, frontier []*leafState,
+	readPair *sharedPair, writePair [2]int) *stGroup {
+	g := &stGroup{
+		workers: workers, frontier: frontier,
+		readPair: readPair, writePair: writePair,
+		bar: newBarrier(len(workers)),
+	}
+	if e.cfg.SubtreeInner == MWK {
+		g.doneCh = makeSignals(len(frontier))
+	}
+	return g
+}
+
+// freeQueue is the paper's FREE queue of idle processors. put enqueues
+// workers; drain hands all currently idle workers to a grabbing group
+// master. When every processor is idle the computation is over and the
+// queue broadcasts termination (a nil group) to all workers.
+type freeQueue struct {
+	mu    sync.Mutex
+	ids   []int
+	total int
+	chans []chan *stGroup
+}
+
+func newFreeQueue(total int, chans []chan *stGroup) *freeQueue {
+	return &freeQueue{total: total, chans: chans}
+}
+
+func (q *freeQueue) put(ids ...int) {
+	q.mu.Lock()
+	q.ids = append(q.ids, ids...)
+	if len(q.ids) == q.total {
+		for _, ch := range q.chans {
+			ch <- nil
+		}
+	}
+	q.mu.Unlock()
+}
+
+func (q *freeQueue) drain() []int {
+	q.mu.Lock()
+	out := q.ids
+	q.ids = nil
+	q.mu.Unlock()
+	return out
+}
+
+// runSubtree implements the SUBTREE task-parallel scheme (paper Fig. 7).
+// All processors start in one group at the root. A group processes one tree
+// level with the BASIC algorithm, then its master gathers any processors
+// that have become idle (the FREE queue), and either dies (empty frontier,
+// members go idle), continues as one group (single leaf or single
+// processor), or splits leaves and processors into two new groups working
+// on disjoint subtrees.
+func (e *engine) runSubtree(root *leafState) error {
+	frontier := e.rootFrontier(root)
+	if len(frontier) == 0 {
+		return nil
+	}
+	P := e.cfg.Procs
+	var ferr errOnce
+
+	chans := make([]chan *stGroup, P)
+	for i := range chans {
+		chans[i] = make(chan *stGroup, 1)
+	}
+	fq := newFreeQueue(P, chans)
+	// Setup wrote the root lists into slot 0; slots {0,1} form the root's
+	// read pair and {2,3} are free.
+	pool := newSlotPool(e, 4)
+	pool.free = append(pool.free, [2]int{2, 3})
+
+	writePair, err := pool.acquire()
+	if err != nil {
+		return err
+	}
+	g0 := e.newStGroup(identity(P), frontier,
+		newSharedPair(pool, [2]int{0, 1}, 1), writePair)
+
+	var wg sync.WaitGroup
+	for w := 0; w < P; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for g := range chans[w] {
+				if g == nil {
+					return
+				}
+				e.subtreeMember(g, w, pool, fq, chans, &ferr)
+			}
+		}(w)
+	}
+	for _, w := range g0.workers {
+		chans[w] <- g0
+	}
+	wg.Wait()
+	return ferr.get()
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// subtreeMember executes one group level as worker w. Non-masters return to
+// their assignment channel ("go to sleep") after the level; the master
+// performs the group transition.
+func (e *engine) subtreeMember(g *stGroup, w int, pool *slotPool, fq *freeQueue,
+	chans []chan *stGroup, ferr *errOnce) {
+
+	isMaster := w == g.workers[0]
+
+	if e.cfg.SubtreeInner == MWK {
+		e.subtreeLevelMWK(g, isMaster, ferr)
+	} else {
+		e.subtreeLevelBasic(g, isMaster, ferr)
+	}
+
+	if !isMaster {
+		return // sleep until reassigned (or terminated) via the channel
+	}
+
+	// Master: build the new frontier, release the parent lists, and decide
+	// the group transition.
+	var next []*leafState
+	for li, l := range g.frontier {
+		if !ferr.failed() && l.didSplit {
+			for _, c := range l.children {
+				if !c.terminal {
+					next = append(next, childLeafState(c, li, e.nattr))
+				}
+			}
+		}
+		releaseLeaf(l)
+	}
+	if err := g.readPair.release(); err != nil {
+		ferr.set(err)
+	}
+	if ferr.failed() {
+		next = nil
+	}
+
+	if len(next) == 0 {
+		// Subtree finished: everyone (master included) joins the FREE
+		// queue. The write pair holds nothing anyone will read.
+		if err := pool.release(g.writePair); err != nil {
+			ferr.set(err)
+		}
+		fq.put(g.workers...)
+		return
+	}
+
+	// Grab all idle processors from the FREE queue.
+	procs := append(append([]int(nil), g.workers...), fq.drain()...)
+	sort.Ints(procs) // the smallest id is the master
+	childRead := newSharedPair(pool, g.writePair, 1)
+
+	if len(next) == 1 || len(procs) == 1 {
+		// One leaf (all processors attack it) or one processor (it keeps
+		// the whole frontier): continue as a single group.
+		wp, err := pool.acquire()
+		if err != nil {
+			ferr.set(err)
+			fq.put(procs...)
+			return
+		}
+		ng := e.newStGroup(procs, next, childRead, wp)
+		for _, id := range ng.workers {
+			chans[id] <- ng
+		}
+		return
+	}
+
+	// Multiple leaves and processors: split both and recurse.
+	childRead.refs.Store(2)
+	l1, l2 := splitFrontier(next)
+	half := (len(procs) + 1) / 2
+	p1, p2 := procs[:half], procs[half:]
+	wp1, err1 := pool.acquire()
+	wp2, err2 := pool.acquire()
+	if err1 != nil || err2 != nil {
+		ferr.set(err1)
+		ferr.set(err2)
+		fq.put(procs...)
+		return
+	}
+	g1 := e.newStGroup(p1, l1, childRead, wp1)
+	g2 := e.newStGroup(p2, l2, childRead, wp2)
+	for _, id := range p1 {
+		chans[id] <- g1
+	}
+	for _, id := range p2 {
+		chans[id] <- g2
+	}
+}
+
+// subtreeLevelBasic runs one group level with the BASIC policy: dynamic
+// attribute units for E and S, the group master serially performing W.
+func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ferr *errOnce) {
+	for !ferr.failed() {
+		a := int(g.eCtr.Add(1) - 1)
+		if a >= e.nattr {
+			break
+		}
+		for _, l := range g.frontier {
+			if err := e.evalLeafAttr(l, a); err != nil {
+				ferr.set(err)
+				break
+			}
+		}
+	}
+	g.bar.wait()
+
+	if isMaster && !ferr.failed() {
+		for _, l := range g.frontier {
+			if err := e.winnerAndProbe(l); err != nil {
+				ferr.set(err)
+				break
+			}
+			if !l.didSplit {
+				continue
+			}
+			for side, c := range l.children {
+				if c.terminal {
+					continue
+				}
+				if err := e.registerChild(c, g.writePair[side]); err != nil {
+					ferr.set(err)
+					break
+				}
+			}
+		}
+	}
+	g.bar.wait()
+
+	for !ferr.failed() {
+		a := int(g.sCtr.Add(1) - 1)
+		if a >= e.nattr {
+			break
+		}
+		for _, l := range g.frontier {
+			if err := e.splitLeafAttr(l, a); err != nil {
+				ferr.set(err)
+				break
+			}
+		}
+	}
+	g.bar.wait()
+}
+
+// subtreeLevelMWK runs one group level with the MWK policy — the hybrid the
+// paper notes in §3.4 ("we can also use FWK or MWK as the subroutine"):
+// per-leaf dynamic E units with the last finisher performing W (removing
+// the group master's serial W), opportunistic S, and a completion sweep.
+// Children still go to the group's private write pair, so the file scheme
+// is unchanged.
+func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ferr *errOnce) {
+	K := e.cfg.WindowK
+	registerMWK := func(l *leafState) error {
+		if err := e.winnerAndProbe(l); err != nil {
+			return err
+		}
+		if !l.didSplit {
+			return nil
+		}
+		for side, c := range l.children {
+			if c.terminal {
+				continue
+			}
+			if err := e.registerChild(c, g.writePair[side]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	splitGrab := func(l *leafState) {
+		for !ferr.failed() {
+			a := l.sNext.Add(1) - 1
+			if a >= int64(e.nattr) {
+				return
+			}
+			if err := e.splitLeafAttr(l, int(a)); err != nil {
+				ferr.set(err)
+			}
+			if l.sDone.Add(1) == int64(e.nattr) {
+				releaseLeaf(l)
+			}
+		}
+	}
+	for i, l := range g.frontier {
+		if i >= K {
+			e.waitSubtreeSignal(g.doneCh[i-K], ferr)
+		}
+		for !ferr.failed() {
+			a := l.eNext.Add(1) - 1
+			if a >= int64(e.nattr) {
+				break
+			}
+			if err := e.evalLeafAttr(l, int(a)); err != nil {
+				ferr.set(err)
+				break
+			}
+			if l.eDone.Add(1) == int64(e.nattr) {
+				if err := registerMWK(l); err != nil {
+					ferr.set(err)
+				}
+				close(g.doneCh[i])
+			}
+		}
+		select {
+		case <-g.doneCh[i]:
+			splitGrab(l)
+		default:
+		}
+	}
+	for i, l := range g.frontier {
+		e.waitSubtreeSignal(g.doneCh[i], ferr)
+		splitGrab(l)
+	}
+	g.bar.wait()
+}
+
+// waitSubtreeSignal waits for a leaf-done signal, giving up after a bounded
+// poll when the build has failed (the signalling worker may itself have
+// bailed out on the error).
+func (e *engine) waitSubtreeSignal(ch chan struct{}, ferr *errOnce) {
+	for {
+		select {
+		case <-ch:
+			return
+		default:
+		}
+		if ferr.failed() {
+			return
+		}
+		select {
+		case <-ch:
+			return
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// splitFrontier partitions the frontier into two contiguous halves of
+// roughly equal tuple weight, so both subgroups inherit comparable work.
+func splitFrontier(leaves []*leafState) (a, b []*leafState) {
+	var total int64
+	for _, l := range leaves {
+		total += l.n
+	}
+	var acc int64
+	cut := 1 // both halves must be non-empty
+	for i, l := range leaves {
+		acc += l.n
+		if acc >= total/2 {
+			cut = i + 1
+			break
+		}
+	}
+	if cut >= len(leaves) {
+		cut = len(leaves) - 1
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	return leaves[:cut], leaves[cut:]
+}

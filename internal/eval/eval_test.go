@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/synth"
+	"repro/internal/tree"
+)
+
+func buildF1(t *testing.T, n int, noise float64) (*tree.Tree, *dataset.Table) {
+	t.Helper()
+	tbl, err := synth.Generate(synth.Config{
+		Function: 1, Attrs: 9, Tuples: n, Seed: 9, LabelNoise: noise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := core.Build(tbl, core.Config{Algorithm: core.Serial, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tbl
+}
+
+func TestConfusionPerfectClassifier(t *testing.T) {
+	tr, tbl := buildF1(t, 1000, 0)
+	cm := Confuse(tr, tbl)
+	if cm.Total() != 1000 {
+		t.Fatalf("total = %d", cm.Total())
+	}
+	if cm.Accuracy() != 1.0 {
+		t.Fatalf("clean F1 training accuracy = %g", cm.Accuracy())
+	}
+	if cm.Counts[0][1] != 0 || cm.Counts[1][0] != 0 {
+		t.Fatal("off-diagonal counts on a perfect classifier")
+	}
+	for _, m := range cm.PerClass() {
+		if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+			t.Fatalf("perfect classifier metrics: %+v", m)
+		}
+	}
+	s := cm.String()
+	if !strings.Contains(s, "GroupA") || !strings.Contains(s, "accuracy: 1.0000") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+}
+
+func TestConfusionMetricsArithmetic(t *testing.T) {
+	// Hand-built matrix: actual A: 8 correct, 2 as B; actual B: 1 as A, 9 correct.
+	cm := &Confusion{
+		Classes: []string{"A", "B"},
+		Counts:  [][]int64{{8, 2}, {1, 9}},
+	}
+	if got := cm.Accuracy(); math.Abs(got-17.0/20) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	pc := cm.PerClass()
+	if math.Abs(pc[0].Precision-8.0/9) > 1e-12 || math.Abs(pc[0].Recall-0.8) > 1e-12 {
+		t.Fatalf("class A metrics: %+v", pc[0])
+	}
+	if pc[0].Support != 10 || pc[1].Support != 10 {
+		t.Fatal("supports wrong")
+	}
+	wantF1 := 2 * (8.0 / 9) * 0.8 / ((8.0 / 9) + 0.8)
+	if math.Abs(pc[0].F1-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %g, want %g", pc[0].F1, wantF1)
+	}
+}
+
+func TestConfusionAccuracyMatchesTreeAccuracy(t *testing.T) {
+	tr, tbl := buildF1(t, 2000, 0.1)
+	cm := Confuse(tr, tbl)
+	if math.Abs(cm.Accuracy()-tr.Accuracy(tbl)) > 1e-12 {
+		t.Fatalf("confusion accuracy %g != tree accuracy %g",
+			cm.Accuracy(), tr.Accuracy(tbl))
+	}
+}
+
+// Property: folds partition [0,n) exactly.
+func TestFoldsPartitionProperty(t *testing.T) {
+	f := func(nRaw uint8, kRaw uint8, seed int64) bool {
+		n := int(nRaw) + 10
+		k := int(kRaw)%5 + 2
+		folds, err := Folds(n, k, seed)
+		if err != nil {
+			return n < k
+		}
+		seen := make([]bool, n)
+		count := 0
+		for _, fold := range folds {
+			for _, i := range fold {
+				if i < 0 || i >= n || seen[i] {
+					return false
+				}
+				seen[i] = true
+				count++
+			}
+		}
+		if count != n {
+			return false
+		}
+		// Balanced within one element.
+		min, max := n, 0
+		for _, fold := range folds {
+			if len(fold) < min {
+				min = len(fold)
+			}
+			if len(fold) > max {
+				max = len(fold)
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldsValidation(t *testing.T) {
+	if _, err := Folds(10, 1, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Folds(2, 5, 0); err == nil {
+		t.Fatal("n<k accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	tbl, err := synth.Generate(synth.Config{
+		Function: 1, Attrs: 9, Tuples: 2000, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(tbl, 5, 7, func(train *dataset.Table) (*tree.Tree, error) {
+		tr, _, err := core.Build(train, core.Config{Algorithm: core.MWK, Procs: 2, MaxDepth: 6})
+		return tr, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 5 {
+		t.Fatalf("folds = %d", len(res.FoldAccuracy))
+	}
+	// Clean F1 is trivially learnable; every fold should be near-perfect.
+	if res.Mean < 0.98 {
+		t.Fatalf("mean CV accuracy %g < 0.98", res.Mean)
+	}
+	if res.StdDev < 0 || res.StdDev > 0.05 {
+		t.Fatalf("stddev %g out of range", res.StdDev)
+	}
+	// Deterministic given the same seed.
+	res2, err := CrossValidate(tbl, 5, 7, func(train *dataset.Table) (*tree.Tree, error) {
+		tr, _, err := core.Build(train, core.Config{Algorithm: core.MWK, Procs: 2, MaxDepth: 6})
+		return tr, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.FoldAccuracy {
+		if res.FoldAccuracy[i] != res2.FoldAccuracy[i] {
+			t.Fatal("cross-validation not deterministic")
+		}
+	}
+}

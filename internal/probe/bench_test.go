@@ -1,0 +1,51 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchLeaf(b *testing.B, kind Kind, n int) {
+	b.Helper()
+	fac, err := NewFactory(kind, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sides := make([]bool, n)
+	var nl, nr int64
+	for i := range sides {
+		sides[i] = rng.Intn(2) == 0
+		if sides[i] {
+			nl++
+		} else {
+			nr++
+		}
+	}
+	order := rng.Perm(n) // W scans in value order, not tid order
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fac.ForLeaf(nl, nr)
+		for _, t := range order {
+			p.Set(uint32(t), sides[t])
+		}
+		p.Seal()
+		var sink uint32
+		for _, t := range order {
+			if p.Left(uint32(t)) {
+				sink += p.Remap(uint32(t))
+			}
+		}
+		_ = sink
+		p.Release()
+	}
+	b.SetBytes(int64(n) * 2) // one Set + one Left/Remap per tid
+}
+
+// BenchmarkProbe compares the W+S cost of the three probe designs of
+// §3.2.1 at a 100K-tuple leaf.
+func BenchmarkProbe(b *testing.B) {
+	for _, k := range []Kind{GlobalBit, LeafHash, LeafRelabel} {
+		b.Run(k.String(), func(b *testing.B) { benchLeaf(b, k, 100000) })
+	}
+}

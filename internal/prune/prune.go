@@ -1,0 +1,152 @@
+// Package prune implements MDL-based decision-tree pruning in the style of
+// SLIQ (Mehta, Agrawal, Rissanen, EDBT 1996), the pruning used by the
+// SPRINT family. The paper reproduced here concentrates on the growth phase
+// (pruning is <1% of total time and needs only the grown tree), but a
+// complete classifier ships with it.
+//
+// The code length of a subtree rooted at t is
+//
+//	C_leaf(t)  = 1 + Errors(t)·log2(k)            (encode "leaf" + exceptions)
+//	C_split(t) = 1 + L(test) + C(t.left) + C(t.right)
+//
+// where k is the number of classes and L(test) is the cost of describing
+// the split test: log2(d) bits to pick the attribute plus log2(n−1) bits
+// for a continuous cut point among the node's records or `card` bits for a
+// categorical subset. The subtree is pruned to a leaf whenever
+// C_leaf ≤ C_split. Costs are in bits; the model is deliberately the
+// textbook one — simple, deterministic, and monotone in subtree error.
+package prune
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+// Result summarizes a pruning pass.
+type Result struct {
+	// NodesBefore and NodesAfter count tree nodes around the pass.
+	NodesBefore, NodesAfter int
+	// Pruned is the number of subtrees collapsed into leaves.
+	Pruned int
+}
+
+// MDL prunes the tree in place bottom-up and returns a summary. The tree's
+// node class counts must be populated (they always are for trees built by
+// internal/core).
+func MDL(t *tree.Tree) Result {
+	res := Result{NodesBefore: t.Stats().Nodes}
+	if t.Root != nil {
+		prune(t, t.Root, &res)
+	}
+	res.NodesAfter = t.Stats().Nodes
+	return res
+}
+
+// leafCost is the bits needed to encode the node as a leaf.
+func leafCost(t *tree.Tree, n *tree.Node) float64 {
+	k := float64(len(t.Schema.Classes))
+	return 1 + float64(n.Errors())*math.Log2(k)
+}
+
+// testCost is the bits needed to encode the node's split test.
+func testCost(t *tree.Tree, n *tree.Node) float64 {
+	d := float64(len(t.Schema.Attrs))
+	cost := math.Log2(d)
+	if n.Split.Kind == dataset.Continuous {
+		points := float64(n.N - 1)
+		if points < 1 {
+			points = 1
+		}
+		cost += math.Log2(points)
+	} else {
+		cost += float64(t.Schema.Attrs[n.Split.Attr].Cardinality())
+	}
+	return cost
+}
+
+// prune returns the MDL cost of the (possibly pruned) subtree at n.
+func prune(t *tree.Tree, n *tree.Node, res *Result) float64 {
+	lc := leafCost(t, n)
+	if n.IsLeaf() {
+		return lc
+	}
+	sc := 1 + testCost(t, n) + prune(t, n.Left, res) + prune(t, n.Right, res)
+	if lc <= sc {
+		n.Split = nil
+		n.Left = nil
+		n.Right = nil
+		res.Pruned++
+		return lc
+	}
+	return sc
+}
+
+// MDLPartial prunes with SLIQ's partial-pruning option set: each internal
+// node may stay a split, collapse to a leaf, or keep the split while
+// collapsing just one child to a leaf. The option is encoded with 2 bits
+// (4 outcomes) instead of full pruning's 1 bit. Partial pruning can only
+// produce trees at most as large as full pruning's, at slightly higher
+// code-length bookkeeping.
+func MDLPartial(t *tree.Tree) Result {
+	res := Result{NodesBefore: t.Stats().Nodes}
+	if t.Root != nil {
+		prunePartial(t, t.Root, &res)
+	}
+	res.NodesAfter = t.Stats().Nodes
+	return res
+}
+
+// collapse turns n into a leaf, counting every removed split.
+func collapse(n *tree.Node, res *Result) {
+	if n.IsLeaf() {
+		return
+	}
+	collapse(n.Left, res)
+	collapse(n.Right, res)
+	n.Split = nil
+	n.Left = nil
+	n.Right = nil
+	res.Pruned++
+}
+
+// prunePartial returns the minimum MDL cost over the four SLIQ options and
+// applies the winning one in place.
+func prunePartial(t *tree.Tree, n *tree.Node, res *Result) float64 {
+	lc := 2 + float64(n.Errors())*math.Log2(float64(len(t.Schema.Classes)))
+	if n.IsLeaf() {
+		return lc
+	}
+	test := testCost(t, n)
+	cl := prunePartial(t, n.Left, res)
+	cr := prunePartial(t, n.Right, res)
+	leafL := 2 + float64(n.Left.Errors())*math.Log2(float64(len(t.Schema.Classes)))
+	leafR := 2 + float64(n.Right.Errors())*math.Log2(float64(len(t.Schema.Classes)))
+
+	both := 2 + test + cl + cr
+	pruneAll := lc
+	pruneLeft := 2 + test + leafL + cr
+	pruneRight := 2 + test + cl + leafR
+
+	best := both
+	choice := 0
+	if pruneLeft < best {
+		best, choice = pruneLeft, 1
+	}
+	if pruneRight < best {
+		best, choice = pruneRight, 2
+	}
+	if pruneAll <= best {
+		best, choice = pruneAll, 3
+	}
+	switch choice {
+	case 1:
+		collapse(n.Left, res)
+	case 2:
+		collapse(n.Right, res)
+	case 3:
+		collapse(n, res)
+	}
+	return best
+}

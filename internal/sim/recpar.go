@@ -1,0 +1,55 @@
+package sim
+
+// runRecPar simulates the record-data-parallel baseline: every (leaf,
+// attribute) work unit is split across all P processors as contiguous
+// record chunks, at the price of per-unit synchronization:
+//
+//   - a continuous E unit takes two scans (chunk histograms, then seeded
+//     candidate scoring) and two barriers; the measured cost E[a] covers
+//     one evaluating scan, and the counting pass is charged at half that
+//     (no gini bookkeeping), so the parallel work is 1.5·E[a]/P;
+//   - a W unit parallelizes the probe scan (W/P) with one barrier before
+//     (winner publication) and one after (histogram merge);
+//   - an S unit takes a counting pass plus a writing pass (1.5·S[a]/P) and
+//     two barriers for the prefix-sum exchange.
+//
+// The Θ(leaves × attributes) barriers per level — versus BASIC's constant
+// four — are the "excessive synchronization" the paper predicts for this
+// design on SMP hardware.
+func (s *simState) runRecPar() {
+	ws := identity(s.procs)
+	P := float64(s.procs)
+	for li := range s.tr.Levels {
+		lv := &s.tr.Levels[li]
+		for j := range lv.Leaves {
+			lf := &lv.Leaves[j]
+			// E units.
+			for a := 0; a < s.tr.NAttrs; a++ {
+				s.chunkUnit(ws, 1.5*lf.E[a]/P, 2)
+			}
+			// W unit.
+			if lf.Split {
+				s.chunkUnit(ws, lf.W/P, 2)
+				// S units.
+				for a := 0; a < s.tr.NAttrs; a++ {
+					s.chunkUnit(ws, 1.5*lf.S[a]/P, 2)
+				}
+			}
+		}
+		// Level bookkeeping barrier.
+		s.barrierAll(ws)
+	}
+}
+
+// chunkUnit charges every processor the chunked work plus the unit's
+// barriers.
+func (s *simState) chunkUnit(ws []int, perProc float64, barriers int) {
+	for _, w := range ws {
+		s.clock[w] += s.p.Lock + perProc
+		s.busy[w] += perProc
+	}
+	s.grabs++
+	for b := 0; b < barriers; b++ {
+		s.barrierAll(ws)
+	}
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// flatTrace builds a synthetic one-level trace with uniform unit costs.
+func flatTrace(leaves, attrs int, e, w, s float64) *trace.Trace {
+	tr := &trace.Trace{Dataset: "flat", NAttrs: attrs, NTuples: leaves * 10}
+	lv := trace.Level{}
+	for i := 0; i < leaves; i++ {
+		lf := trace.Leaf{Parent: 0, N: 10, E: make([]float64, attrs), S: make([]float64, attrs), Split: true}
+		if i == 0 {
+			lf.Parent = -1
+		}
+		for a := 0; a < attrs; a++ {
+			lf.E[a] = e
+			lf.S[a] = s
+		}
+		lf.W = w
+		lv.Leaves = append(lv.Leaves, lf)
+	}
+	// Single-level trace: leaves beyond the first need a one-leaf root
+	// chain; simpler: put all leaves at level 0 is invalid (only one root),
+	// so build two levels: a cheap root producing the leaves.
+	if leaves == 1 {
+		lv.Leaves[0].NValidChildren = 0
+		tr.Levels = []trace.Level{lv}
+		return tr
+	}
+	root := trace.Leaf{
+		Parent: -1, N: int64(leaves * 10),
+		E: make([]float64, attrs), S: make([]float64, attrs),
+		W: 1e-9, Split: true, NValidChildren: leaves,
+	}
+	for a := 0; a < attrs; a++ {
+		root.E[a] = 1e-9
+		root.S[a] = 1e-9
+	}
+	for i := range lv.Leaves {
+		lv.Leaves[i].Parent = 0
+	}
+	tr.Levels = []trace.Level{{Leaves: []trace.Leaf{root}}, lv}
+	return tr
+}
+
+// NValidChildren of the second level's leaves default to 0 — consistent.
+
+func TestSimulateValidation(t *testing.T) {
+	tr := flatTrace(1, 2, 1e-3, 1e-4, 1e-3)
+	if _, err := Simulate(tr, Basic, 0, 4, DefaultParams()); err == nil {
+		t.Fatal("procs=0 accepted")
+	}
+	if _, err := Simulate(tr, MWK, 1, -1, DefaultParams()); err == nil {
+		t.Fatal("windowK<0 accepted")
+	}
+	if _, err := Simulate(tr, Scheme(9), 1, 4, DefaultParams()); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	bad := flatTrace(1, 2, 1e-3, 1e-4, 1e-3)
+	bad.Levels[0].Leaves[0].E = nil
+	if _, err := Simulate(bad, Basic, 1, 4, DefaultParams()); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{Basic: "BASIC", FWK: "FWK", MWK: "MWK", Subtree: "SUBTREE", RecPar: "RECPAR"} {
+		if s.String() != want {
+			t.Fatalf("%d → %q", int(s), s.String())
+		}
+	}
+}
+
+// Property: simulated time at P=1 ≈ serial sum + synchronization; more
+// processors never increase BASIC's E+S portions beyond the P=1 time.
+func TestMonotoneSpeedup(t *testing.T) {
+	tr := flatTrace(8, 16, 2e-3, 5e-4, 1e-3)
+	for _, scheme := range []Scheme{Basic, FWK, MWK, Subtree, RecPar, SubtreeMWK} {
+		prev := math.Inf(1)
+		for _, p := range []int{1, 2, 4, 8} {
+			r, err := Simulate(tr, scheme, p, 4, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.BuildSeconds <= 0 {
+				t.Fatalf("%v P%d: nonpositive time", scheme, p)
+			}
+			// Allow a tiny tolerance: sync overhead grows with P.
+			if r.BuildSeconds > prev*1.10 {
+				t.Fatalf("%v: time grew from %g to %g at P=%d", scheme, prev, r.BuildSeconds, p)
+			}
+			prev = r.BuildSeconds
+			if eff := r.Efficiency(); eff < 0 || eff > 1.0001 {
+				t.Fatalf("%v P%d: efficiency %g out of range", scheme, p, eff)
+			}
+		}
+	}
+}
+
+// Serial consistency: at P=1 each scheme's time is close to the trace's
+// serial unit-cost sum (plus small synchronization overhead).
+func TestSerialConsistency(t *testing.T) {
+	tr := flatTrace(6, 8, 1e-3, 2e-4, 5e-4)
+	serial := tr.SerialSeconds()
+	for _, scheme := range []Scheme{Basic, FWK, MWK, Subtree} {
+		r, err := Simulate(tr, scheme, 1, 4, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.BuildSeconds < serial {
+			t.Fatalf("%v: simulated %g < serial work %g", scheme, r.BuildSeconds, serial)
+		}
+		if r.BuildSeconds > serial*1.5 {
+			t.Fatalf("%v: simulated %g ≫ serial work %g (overhead model broken)",
+				scheme, r.BuildSeconds, serial)
+		}
+	}
+}
+
+// BASIC's W phase is a serial bottleneck: with W dominating, speedup must
+// stay near 1 for BASIC while MWK pipelines it across leaves.
+func TestBasicWBottleneck(t *testing.T) {
+	tr := flatTrace(16, 4, 1e-5, 5e-3, 1e-5) // W ≫ E,S
+	basic1, _ := Simulate(tr, Basic, 1, 4, DefaultParams())
+	basic4, _ := Simulate(tr, Basic, 4, 4, DefaultParams())
+	mwk4, _ := Simulate(tr, MWK, 4, 4, DefaultParams())
+	basicSpeedup := basic1.BuildSeconds / basic4.BuildSeconds
+	if basicSpeedup > 1.5 {
+		t.Fatalf("BASIC speedup %g despite serial W bottleneck", basicSpeedup)
+	}
+	if mwk4.BuildSeconds >= basic4.BuildSeconds {
+		t.Fatalf("MWK (%g) should beat BASIC (%g) on W-heavy workloads",
+			mwk4.BuildSeconds, basic4.BuildSeconds)
+	}
+}
+
+// With many uniform leaves and attributes, all schemes should speed up well.
+func TestGoodSpeedupOnWideLevels(t *testing.T) {
+	tr := flatTrace(32, 32, 1e-3, 1e-5, 5e-4)
+	for _, scheme := range []Scheme{Basic, FWK, MWK, Subtree} {
+		r1, _ := Simulate(tr, scheme, 1, 4, DefaultParams())
+		r4, _ := Simulate(tr, scheme, 4, 4, DefaultParams())
+		sp := r1.BuildSeconds / r4.BuildSeconds
+		if sp < 3.0 {
+			t.Fatalf("%v: speedup %g < 3.0 on embarrassingly parallel level", scheme, sp)
+		}
+		if sp > 4.01 {
+			t.Fatalf("%v: speedup %g > P", scheme, sp)
+		}
+	}
+}
+
+// Integration: simulate over a real profiling trace and check paper-shape
+// properties end to end.
+func TestRealTraceShapes(t *testing.T) {
+	tbl, err := synth.Generate(synth.Config{
+		Function: 7, Attrs: 16, Tuples: 6000, Seed: 2, Perturbation: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Dataset: "F7-A16-D6K"}
+	if _, _, err := core.Build(tbl, core.Config{Algorithm: core.Serial, Trace: tr, MaxDepth: 14}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SerialSeconds() <= 0 || len(tr.Levels) < 3 {
+		t.Fatalf("profiling trace too small: %g s, %d levels", tr.SerialSeconds(), len(tr.Levels))
+	}
+	for _, scheme := range []Scheme{Basic, FWK, MWK, Subtree} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			r1, err := Simulate(tr, scheme, 1, 4, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r4, err := Simulate(tr, scheme, 4, 4, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := r1.BuildSeconds / r4.BuildSeconds
+			if sp < 1.5 || sp > 4.01 {
+				t.Fatalf("speedup %v at P=4: %.2f outside (1.5, 4]", scheme, sp)
+			}
+		})
+	}
+}
+
+// Determinism: identical inputs give bit-identical results.
+func TestSimulateDeterministic(t *testing.T) {
+	tr := flatTrace(10, 8, 1.3e-3, 2.1e-4, 7e-4)
+	for _, scheme := range []Scheme{Basic, FWK, MWK, Subtree, RecPar} {
+		a, err := Simulate(tr, scheme, 3, 2, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(tr, scheme, 3, 2, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.BuildSeconds != b.BuildSeconds || a.Grabs != b.Grabs || a.Barriers != b.Barriers {
+			t.Fatalf("%v: nondeterministic simulation", scheme)
+		}
+	}
+}
+
+func TestWindowKEffect(t *testing.T) {
+	// Deep, narrow trace with heavy W: larger K should not hurt MWK; K=1
+	// serializes the pipeline and must be slowest (or equal).
+	tr := flatTrace(24, 4, 1e-4, 2e-3, 1e-4)
+	var times []float64
+	for _, k := range []int{1, 4, 16} {
+		r, err := Simulate(tr, MWK, 4, k, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, r.BuildSeconds)
+	}
+	if times[1] > times[0]*1.001 {
+		t.Fatalf("K=4 (%g) slower than K=1 (%g)", times[1], times[0])
+	}
+	fmt.Printf("MWK window sweep: K=1 %.4g, K=4 %.4g, K=16 %.4g\n", times[0], times[1], times[2])
+}
+
+// RECPAR pays a barrier per (leaf, attribute) unit; on a trace with many
+// tiny leaves its speedup must collapse relative to MWK — the paper's
+// argument against record parallelism on SMPs.
+func TestRecParBarrierCollapse(t *testing.T) {
+	// 64 leaves, tiny unit costs comparable to the barrier cost.
+	tr := flatTrace(64, 16, 6e-6, 2e-6, 4e-6)
+	rp1, _ := Simulate(tr, RecPar, 1, 4, DefaultParams())
+	rp4, _ := Simulate(tr, RecPar, 4, 4, DefaultParams())
+	mwk4, _ := Simulate(tr, MWK, 4, 4, DefaultParams())
+	rpSpeedup := rp1.BuildSeconds / rp4.BuildSeconds
+	if rpSpeedup > 1.5 {
+		t.Fatalf("RECPAR speedup %.2f despite barrier-dominated units", rpSpeedup)
+	}
+	if rp4.BuildSeconds < 2*mwk4.BuildSeconds {
+		t.Fatalf("RECPAR (%g) should be far slower than MWK (%g) on fine-grained levels",
+			rp4.BuildSeconds, mwk4.BuildSeconds)
+	}
+}
+
+// SUBTREE+MWK removes the group master's serial W; on W-heavy traces it
+// must beat plain SUBTREE.
+func TestSubtreeMWKBeatsSubtreeOnWHeavy(t *testing.T) {
+	tr := flatTrace(16, 4, 1e-5, 5e-3, 1e-5)
+	st4, err := Simulate(tr, Subtree, 4, 4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy4, err := Simulate(tr, SubtreeMWK, 4, 4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy4.BuildSeconds >= st4.BuildSeconds {
+		t.Fatalf("hybrid (%g) should beat plain SUBTREE (%g) when W dominates",
+			hy4.BuildSeconds, st4.BuildSeconds)
+	}
+}

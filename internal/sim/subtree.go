@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// stGroup is a simulated processor group working on a contiguous slice of
+// one level's leaves.
+type stGroup struct {
+	procs  []int
+	level  int
+	lo, hi int     // leaf range within the level
+	end    float64 // completion time of the group's level
+}
+
+// runSubtree simulates the SUBTREE scheme. When a group is formed, its
+// level is simulated immediately (its processors are private, so clocks can
+// advance eagerly); the group *transitions* — dying into the FREE queue, or
+// grabbing idle processors and continuing/splitting — are processed in
+// completion-time order, which keeps the FREE queue faithful: a master
+// draining the queue at time T sees exactly the processors enqueued by
+// groups that completed before T.
+func (s *simState) runSubtree() {
+	if len(s.tr.Levels) == 0 {
+		return
+	}
+	// childStart[l][j] = index in level l+1 of the first child of leaf j.
+	childStart := make([][]int, len(s.tr.Levels))
+	for l := range s.tr.Levels {
+		lv := &s.tr.Levels[l]
+		starts := make([]int, len(lv.Leaves)+1)
+		for j := range lv.Leaves {
+			starts[j+1] = starts[j] + lv.Leaves[j].NValidChildren
+		}
+		childStart[l] = starts
+	}
+
+	var events groupHeap
+	var free []int // FREE queue of idle processor ids
+
+	form := func(procs []int, level, lo, hi int) {
+		g := &stGroup{procs: procs, level: level, lo: lo, hi: hi}
+		s.simulateGroupLevel(g)
+		heap.Push(&events, g)
+	}
+
+	form(identity(s.procs), 0, 0, len(s.tr.Levels[0].Leaves))
+
+	for events.Len() > 0 {
+		g := heap.Pop(&events).(*stGroup)
+
+		// The group's next frontier is its leaves' children.
+		nextLo := childStart[g.level][g.lo]
+		nextHi := childStart[g.level][g.hi]
+		if g.level+1 >= len(s.tr.Levels) || nextLo == nextHi {
+			// Subtree finished: members join the FREE queue.
+			for _, w := range g.procs {
+				s.clock[w] += s.p.Queue
+			}
+			free = append(free, g.procs...)
+			continue
+		}
+
+		// Master grabs all idle processors; they resume at this group's
+		// completion time (they were enqueued earlier and slept since).
+		procs := append(append([]int(nil), g.procs...), free...)
+		for _, w := range free {
+			if s.clock[w] < g.end {
+				s.clock[w] = g.end
+			}
+		}
+		free = free[:0]
+		sort.Ints(procs)
+
+		if nextHi-nextLo == 1 || len(procs) == 1 {
+			// One leaf (all processors attack it) or one processor (it
+			// keeps the whole frontier).
+			form(procs, g.level+1, nextLo, nextHi)
+			continue
+		}
+		// Split leaves by tuple weight (contiguous halves) and processors
+		// in half; recurse as two groups.
+		nlv := &s.tr.Levels[g.level+1]
+		var total int64
+		for j := nextLo; j < nextHi; j++ {
+			total += nlv.Leaves[j].N
+		}
+		var acc int64
+		cut := nextLo + 1
+		for j := nextLo; j < nextHi; j++ {
+			acc += nlv.Leaves[j].N
+			if acc >= total/2 {
+				cut = j + 1
+				break
+			}
+		}
+		if cut >= nextHi {
+			cut = nextHi - 1
+		}
+		if cut <= nextLo {
+			cut = nextLo + 1
+		}
+		half := (len(procs) + 1) / 2
+		form(procs[:half], g.level+1, nextLo, cut)
+		form(procs[half:], g.level+1, cut, nextHi)
+	}
+}
+
+// simulateGroupLevel runs one level over the group's leaf slice — with the
+// BASIC policy by default, or the MWK policy for the SUBTREE+MWK hybrid —
+// and records the group's completion time.
+func (s *simState) simulateGroupLevel(g *stGroup) {
+	lv := &s.tr.Levels[g.level]
+	if s.subtreeInnerMWK {
+		s.mwkLeaves(g.procs, lv, g.lo, g.hi)
+		end := s.barrierAll(g.procs)
+		s.clock[g.procs[0]] += s.p.Queue
+		g.end = end + s.p.Queue
+		return
+	}
+	eCosts := make([]float64, s.tr.NAttrs)
+	sCosts := make([]float64, s.tr.NAttrs)
+	var wCost float64
+	for j := g.lo; j < g.hi; j++ {
+		lf := &lv.Leaves[j]
+		for a := 0; a < s.tr.NAttrs; a++ {
+			eCosts[a] += lf.E[a]
+			sCosts[a] += lf.S[a]
+		}
+		wCost += lf.W
+	}
+	s.listSchedule(g.procs, eCosts)
+	s.barrierAll(g.procs)
+	s.clock[g.procs[0]] += wCost
+	s.busy[g.procs[0]] += wCost
+	s.barrierAll(g.procs)
+	s.listSchedule(g.procs, sCosts)
+	end := s.barrierAll(g.procs)
+	// Master checks the FREE queue once per level.
+	s.clock[g.procs[0]] += s.p.Queue
+	g.end = end + s.p.Queue
+}
+
+// groupHeap orders groups by completion time.
+type groupHeap []*stGroup
+
+func (h groupHeap) Len() int           { return len(h) }
+func (h groupHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h groupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x any)        { *h = append(*h, x.(*stGroup)) }
+func (h *groupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,305 @@
+// Package sliq implements the SLIQ classifier (Mehta, Agrawal & Rissanen,
+// EDBT 1996), the direct predecessor of SPRINT that the paper's §2 builds
+// on. SLIQ differs from SPRINT in its data organization, not its output:
+//
+//   - attribute lists hold (value, record-id) pairs only and are created
+//     and sorted ONCE — they are never partitioned as the tree grows;
+//   - a memory-resident *class list* maps every record to its current leaf
+//     (this in-memory structure is SLIQ's scalability limit and SPRINT's
+//     raison d'être);
+//   - one scan of an attribute's static list evaluates that attribute for
+//     EVERY leaf of the level simultaneously, because each record's leaf is
+//     found through the class list and records of a leaf appear in sorted
+//     order within the global sorted list.
+//
+// Given the same split-selection rules, SLIQ grows exactly the same tree as
+// SPRINT; the test suite uses this as another independent cross-check of
+// the SPRINT engine. (The class-list update after a level is done by
+// re-evaluating each leaf's winning test against the columnar table, which
+// is equivalent to SLIQ's winner-list scan.)
+package sliq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alist"
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/tree"
+)
+
+// Config parameterizes a SLIQ build.
+type Config struct {
+	// MinSplit stops splitting leaves with fewer tuples. Default 2.
+	MinSplit int64
+	// MaxDepth bounds the tree depth when > 0.
+	MaxDepth int
+	// MaxEnumCard overrides the categorical subset-enumeration threshold
+	// when > 0.
+	MaxEnumCard int
+}
+
+// entry is one attribute-list element: a value and the record it belongs to.
+type entry struct {
+	value float64
+	rec   int32
+}
+
+// Build grows a decision tree over tbl with the SLIQ organization.
+func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, error) {
+	if cfg.MinSplit == 0 {
+		cfg.MinSplit = 2
+	}
+	if cfg.MinSplit < 2 {
+		return nil, fmt.Errorf("sliq: MinSplit must be >= 2, got %d", cfg.MinSplit)
+	}
+	n := tbl.NumTuples()
+	if n == 0 {
+		return nil, fmt.Errorf("sliq: empty training set")
+	}
+	schema := tbl.Schema()
+	nattr := schema.NumAttrs()
+	nclass := schema.NumClasses()
+
+	// Setup: one static attribute list per attribute, sorted once for
+	// continuous attributes (ties broken by record id for determinism,
+	// matching the SPRINT engine's pre-sort).
+	lists := make([][]entry, nattr)
+	for a := 0; a < nattr; a++ {
+		list := make([]entry, n)
+		if schema.Attrs[a].Kind == dataset.Continuous {
+			col := tbl.ContColumn(a)
+			for i := 0; i < n; i++ {
+				list[i] = entry{value: col[i], rec: int32(i)}
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].value != list[j].value {
+					return list[i].value < list[j].value
+				}
+				return list[i].rec < list[j].rec
+			})
+		} else {
+			col := tbl.CatColumn(a)
+			for i := 0; i < n; i++ {
+				list[i] = entry{value: float64(col[i]), rec: int32(i)}
+			}
+		}
+		lists[a] = list
+	}
+
+	// The class list: each record's class and current leaf.
+	leafOf := make([]int32, n)
+
+	rootHist := make([]int64, nclass)
+	for i := 0; i < n; i++ {
+		rootHist[tbl.Class(i)]++
+	}
+	root := &tree.Node{
+		Level:       0,
+		N:           int64(n),
+		ClassCounts: rootHist,
+		Class:       tree.MajorityClass(rootHist),
+	}
+
+	terminal := func(level int, cnt int64, hist []int64) bool {
+		if cnt < cfg.MinSplit {
+			return true
+		}
+		if cfg.MaxDepth > 0 && level >= cfg.MaxDepth {
+			return true
+		}
+		for _, c := range hist {
+			if c == cnt {
+				return true
+			}
+		}
+		return false
+	}
+
+	type liveLeaf struct {
+		node *tree.Node
+		hist []int64
+		win  split.Candidate
+	}
+	frontier := []*liveLeaf{}
+	if !terminal(0, root.N, rootHist) {
+		frontier = append(frontier, &liveLeaf{node: root, hist: rootHist})
+	}
+
+	level := 0
+	for len(frontier) > 0 {
+		// E: one scan per attribute evaluates every leaf of the level.
+		for a := 0; a < nattr; a++ {
+			if schema.Attrs[a].Kind == dataset.Continuous {
+				evals := make([]*split.ContEval, len(frontier))
+				for _, en := range lists[a] {
+					li := leafOf[en.rec]
+					if li < 0 {
+						continue // record parked in a dead subtree
+					}
+					l := frontier[li]
+					if evals[li] == nil {
+						evals[li] = split.NewContEval(a, l.hist)
+					}
+					evals[li].Push(toRecord(en, tbl))
+				}
+				for li, ev := range evals {
+					if ev == nil {
+						continue
+					}
+					if cand := ev.Finish(); cand.Better(frontier[li].win) {
+						frontier[li].win = cand
+					}
+				}
+				continue
+			}
+			card := schema.Attrs[a].Cardinality()
+			evals := make([]*split.CatEval, len(frontier))
+			for _, en := range lists[a] {
+				li := leafOf[en.rec]
+				if li < 0 {
+					continue
+				}
+				if evals[li] == nil {
+					evals[li] = split.NewCatEval(a, card, frontier[li].hist, cfg.MaxEnumCard)
+				}
+				evals[li].Push(toRecord(en, tbl))
+			}
+			for li, ev := range evals {
+				if ev == nil {
+					continue
+				}
+				if cand := ev.Finish(); cand.Better(frontier[li].win) {
+					frontier[li].win = cand
+				}
+			}
+		}
+
+		// W + class-list update: apply each leaf's winner to its records,
+		// gathering child histograms and reassigning leaf pointers.
+		type childSlot struct {
+			node *tree.Node
+			hist []int64
+			live int32 // index in the next frontier, or -1
+		}
+		children := make([][2]*childSlot, len(frontier))
+		for li, l := range frontier {
+			if !l.win.Valid {
+				continue
+			}
+			mk := func() *childSlot {
+				return &childSlot{hist: make([]int64, nclass), live: -1}
+			}
+			children[li] = [2]*childSlot{mk(), mk()}
+		}
+		for rec := 0; rec < n; rec++ {
+			li := leafOf[rec]
+			if li < 0 {
+				continue
+			}
+			l := frontier[li]
+			if !l.win.Valid {
+				continue
+			}
+			var v float64
+			if l.win.Kind == dataset.Continuous {
+				v = tbl.ContValue(l.win.Attr, rec)
+			} else {
+				v = float64(tbl.CatValue(l.win.Attr, rec))
+			}
+			side := 1
+			if l.win.GoesLeft(v) {
+				side = 0
+			}
+			children[li][side].hist[tbl.Class(rec)]++
+		}
+
+		// Materialize child nodes, decide which stay live, and build the
+		// next frontier in leaf order (left before right) so the result
+		// is structurally identical to the SPRINT engine's.
+		var next []*liveLeaf
+		for li, l := range frontier {
+			if !l.win.Valid {
+				continue
+			}
+			winCopy := l.win
+			l.node.Split = &winCopy
+			for side, c := range children[li] {
+				var cnt int64
+				for _, x := range c.hist {
+					cnt += x
+				}
+				c.node = &tree.Node{
+					Level:       level + 1,
+					N:           cnt,
+					ClassCounts: c.hist,
+					Class:       tree.MajorityClass(c.hist),
+				}
+				if side == 0 {
+					l.node.Left = c.node
+				} else {
+					l.node.Right = c.node
+				}
+				if !terminal(level+1, cnt, c.hist) {
+					c.live = int32(len(next))
+					next = append(next, &liveLeaf{node: c.node, hist: c.hist})
+				}
+			}
+		}
+
+		// Reassign the class list to next-frontier indices.
+		for rec := 0; rec < n; rec++ {
+			li := leafOf[rec]
+			if li < 0 {
+				continue
+			}
+			l := frontier[li]
+			if !l.win.Valid {
+				leafOf[rec] = -1 // leaf stayed a leaf; record is done
+				continue
+			}
+			var v float64
+			if l.win.Kind == dataset.Continuous {
+				v = tbl.ContValue(l.win.Attr, rec)
+			} else {
+				v = float64(tbl.CatValue(l.win.Attr, rec))
+			}
+			side := 1
+			if l.win.GoesLeft(v) {
+				side = 0
+			}
+			leafOf[rec] = children[li][side].live
+		}
+		frontier = next
+		level++
+	}
+
+	t := &tree.Tree{Root: root, Schema: schema}
+	renumberBFS(t)
+	return t, nil
+}
+
+// toRecord adapts a list entry to the split evaluators' record type. SLIQ
+// lists do not carry the class; it comes from the class list (here: the
+// table's class column, which is that list's backing data).
+func toRecord(en entry, tbl *dataset.Table) alist.Record {
+	return alist.Record{Value: en.value, Tid: uint32(en.rec), Class: tbl.Class(int(en.rec))}
+}
+
+func renumberBFS(t *tree.Tree) {
+	if t.Root == nil {
+		return
+	}
+	id := 0
+	queue := []*tree.Node{t.Root}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		nd.ID = id
+		id++
+		if !nd.IsLeaf() {
+			queue = append(queue, nd.Left, nd.Right)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sliq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/tree"
+)
+
+// TestSLIQMatchesSPRINT is the headline invariant: SLIQ's class-list
+// organization and SPRINT's partitioned attribute lists are different data
+// layouts for the same algorithm, so the trees must be identical. This is a
+// second, independent cross-check of the SPRINT engine (besides the
+// direct-recursion oracle).
+func TestSLIQMatchesSPRINT(t *testing.T) {
+	for _, cse := range []struct {
+		fn, attrs, n int
+		seed         int64
+		perturb      float64
+		classes      int
+	}{
+		{1, 9, 800, 1, 0, 0},
+		{2, 9, 600, 2, 0.05, 0},
+		{5, 12, 500, 3, 0.05, 0},
+		{7, 9, 1000, 4, 0.05, 0},
+		{7, 9, 800, 5, 0, 4}, // multiclass
+		{10, 9, 600, 6, 0.05, 0},
+	} {
+		name := fmt.Sprintf("F%d-seed%d", cse.fn, cse.seed)
+		t.Run(name, func(t *testing.T) {
+			tbl, err := synth.Generate(synth.Config{
+				Function: cse.fn, Attrs: cse.attrs, Tuples: cse.n,
+				Seed: cse.seed, Perturbation: cse.perturb, Classes: cse.classes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := core.Build(tbl, core.Config{Algorithm: core.Serial, MaxDepth: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Build(tbl, Config{MaxDepth: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tree.Equal(want, got) {
+				t.Fatalf("SLIQ differs from SPRINT: %s", tree.Diff(want, got))
+			}
+			// Identical BFS ids too, since both renumber the same way.
+			if want.Root.ID != got.Root.ID {
+				t.Fatal("id numbering differs")
+			}
+		})
+	}
+}
+
+func TestSLIQStoppingRules(t *testing.T) {
+	tbl, err := synth.Generate(synth.Config{Function: 7, Attrs: 9, Tuples: 800, Seed: 9, Perturbation: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := Build(tbl, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := shallow.Stats(); st.Levels > 4 {
+		t.Fatalf("levels = %d with MaxDepth 3", st.Levels)
+	}
+	chunky, err := Build(tbl, Config{MinSplit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if n.N < 200 {
+			t.Fatalf("internal node smaller than MinSplit: %d", n.N)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(chunky.Root)
+}
+
+func TestSLIQValidation(t *testing.T) {
+	tbl, err := synth.Generate(synth.Config{Function: 1, Attrs: 9, Tuples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(tbl, Config{MinSplit: 1}); err == nil {
+		t.Fatal("MinSplit=1 accepted")
+	}
+	empty, err := synth.Generate(synth.Config{Function: 1, Attrs: 9, Tuples: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(empty, Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestSLIQPureRoot(t *testing.T) {
+	// All one class: a single-leaf tree.
+	tbl, err := synth.Generate(synth.Config{Function: 1, Attrs: 9, Tuples: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter to a pure subset via MinSplit larger than n.
+	tr, err := Build(tbl, Config{MinSplit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Fatal("root should stay a leaf when below MinSplit")
+	}
+}
+
+// BenchmarkSLIQvsSPRINT compares the two organizations' serial build
+// throughput on the same dataset (SLIQ avoids list repartitioning but pays
+// class-list indirection on every record touch).
+func BenchmarkSLIQvsSPRINT(b *testing.B) {
+	tbl, err := synth.Generate(synth.Config{
+		Function: 7, Attrs: 16, Tuples: 20000, Seed: 1, Perturbation: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("SLIQ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(tbl, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SPRINT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Build(tbl, core.Config{Algorithm: core.Serial}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,448 @@
+// Package split implements gini-index split evaluation over attribute
+// lists, the E step of the paper's E/W/S decomposition.
+//
+// For a continuous attribute the candidate split points are the mid-points
+// between every two consecutive distinct values in the (sorted) attribute
+// list; evaluation streams the list once, maintaining Cbelow/Cabove class
+// histograms. For a categorical attribute a class×category count matrix is
+// gathered in one pass and then either all subsets are enumerated (small
+// cardinality) or a greedy subsetting search is used (paper §2.2), exactly
+// as in SPRINT.
+package split
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/alist"
+	"repro/internal/dataset"
+)
+
+// Gini returns the gini index of a class histogram with total n:
+// gini = 1 - Σ (c_j/n)². By convention the gini of an empty set is 0.
+func Gini(counts []int64, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	fn := float64(n)
+	for _, c := range counts {
+		p := float64(c) / fn
+		s += p * p
+	}
+	return 1 - s
+}
+
+// SplitGini returns the weighted gini of a binary partition:
+// (nl/n)·gini(left) + (nr/n)·gini(right).
+func SplitGini(left, right []int64, nl, nr int64) float64 {
+	n := nl + nr
+	if n == 0 {
+		return 0
+	}
+	return float64(nl)/float64(n)*Gini(left, nl) + float64(nr)/float64(n)*Gini(right, nr)
+}
+
+// CatSet is a set of category codes, used as the left-branch subset of a
+// categorical split test (value ∈ set ⇒ left).
+type CatSet struct {
+	bits []uint64
+	card int
+}
+
+// NewCatSet creates an empty set over a domain of card categories.
+func NewCatSet(card int) CatSet {
+	return CatSet{bits: make([]uint64, (card+63)/64), card: card}
+}
+
+// Add inserts a category code.
+func (s *CatSet) Add(code int32) { s.bits[code/64] |= 1 << uint(code%64) }
+
+// Remove deletes a category code.
+func (s *CatSet) Remove(code int32) { s.bits[code/64] &^= 1 << uint(code%64) }
+
+// Has reports membership of a category code.
+func (s CatSet) Has(code int32) bool {
+	i := int(code / 64)
+	if i < 0 || i >= len(s.bits) {
+		return false
+	}
+	return s.bits[i]&(1<<uint(code%64)) != 0
+}
+
+// Card returns the domain cardinality the set was created with.
+func (s CatSet) Card() int { return s.card }
+
+// Count returns the number of categories in the set.
+func (s CatSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of the set.
+func (s CatSet) Clone() CatSet {
+	return CatSet{bits: append([]uint64(nil), s.bits...), card: s.card}
+}
+
+// Equal reports whether two sets contain the same codes.
+func (s CatSet) Equal(o CatSet) bool {
+	if len(s.bits) != len(o.bits) {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as {c0,c3,...}.
+func (s CatSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for c := int32(0); int(c) < s.card; c++ {
+		if s.Has(c) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Candidate describes the best split found for one attribute at one leaf.
+type Candidate struct {
+	// Attr is the attribute index the candidate splits on.
+	Attr int
+	// Kind is the attribute kind.
+	Kind dataset.Kind
+	// Gini is the weighted gini index of the split; lower is better.
+	Gini float64
+	// Threshold is the continuous split point: value < Threshold ⇒ left.
+	Threshold float64
+	// Subset is the categorical left-branch subset: value ∈ Subset ⇒ left.
+	Subset CatSet
+	// NLeft and NRight are the record counts on each side.
+	NLeft, NRight int64
+	// Valid is false when no split exists (e.g. a single distinct value).
+	Valid bool
+}
+
+// Better reports whether c is strictly preferable to o under the
+// deterministic total order used everywhere: lower gini wins; ties break by
+// lower attribute index, then (same attribute, continuous) lower threshold.
+// An invalid candidate never beats a valid one.
+func (c Candidate) Better(o Candidate) bool {
+	if !c.Valid {
+		return false
+	}
+	if !o.Valid {
+		return true
+	}
+	if c.Gini != o.Gini {
+		return c.Gini < o.Gini
+	}
+	if c.Attr != o.Attr {
+		return c.Attr < o.Attr
+	}
+	if c.Kind == dataset.Continuous && o.Kind == dataset.Continuous {
+		return c.Threshold < o.Threshold
+	}
+	return false
+}
+
+// GoesLeft applies the candidate's test to an attribute-list record value.
+func (c Candidate) GoesLeft(value float64) bool {
+	if c.Kind == dataset.Continuous {
+		return value < c.Threshold
+	}
+	return c.Subset.Has(int32(value))
+}
+
+// ContEval streams a sorted continuous attribute list and finds the best
+// mid-point split. It maintains the Cbelow histogram; Cabove is derived from
+// the leaf's total histogram.
+type ContEval struct {
+	attr    int
+	total   []int64
+	n       int64
+	below   []int64
+	above   []int64 // scratch, recomputed per candidate
+	nBelow  int64
+	prev    float64
+	started bool
+	best    Candidate
+}
+
+// NewContEval creates an evaluator for attribute attr at a leaf whose class
+// histogram is total (copied).
+func NewContEval(attr int, total []int64) *ContEval {
+	e := &ContEval{
+		attr:  attr,
+		total: append([]int64(nil), total...),
+		below: make([]int64, len(total)),
+		above: make([]int64, len(total)),
+		best:  Candidate{Attr: attr, Kind: dataset.Continuous, Gini: math.Inf(1)},
+	}
+	for _, c := range e.total {
+		e.n += c
+	}
+	return e
+}
+
+// NewContEvalSeeded creates an evaluator for one contiguous chunk of a
+// sorted attribute list, used by the record-data-parallel scheme: below is
+// the class histogram of all records before the chunk, and prev/started
+// describe the last value before the chunk so the boundary mid-point is
+// evaluated. total is the whole leaf's class histogram.
+func NewContEvalSeeded(attr int, total, below []int64, prev float64, started bool) *ContEval {
+	e := NewContEval(attr, total)
+	copy(e.below, below)
+	for _, c := range below {
+		e.nBelow += c
+	}
+	e.prev = prev
+	e.started = started
+	return e
+}
+
+// Push consumes the next record (records must arrive in sorted order).
+func (e *ContEval) Push(r alist.Record) {
+	if e.started && r.Value != e.prev {
+		e.consider((e.prev + r.Value) / 2)
+	}
+	e.below[r.Class]++
+	e.nBelow++
+	e.prev = r.Value
+	e.started = true
+}
+
+// PushChunk consumes a chunk of records.
+func (e *ContEval) PushChunk(recs []alist.Record) {
+	for i := range recs {
+		e.Push(recs[i])
+	}
+}
+
+func (e *ContEval) consider(threshold float64) {
+	nl := e.nBelow
+	nr := e.n - nl
+	if nl == 0 || nr == 0 {
+		return
+	}
+	for j := range e.above {
+		e.above[j] = e.total[j] - e.below[j]
+	}
+	g := SplitGini(e.below, e.above, nl, nr)
+	cand := Candidate{
+		Attr: e.attr, Kind: dataset.Continuous, Gini: g,
+		Threshold: threshold, NLeft: nl, NRight: nr, Valid: true,
+	}
+	if cand.Better(e.best) {
+		e.best = cand
+	}
+}
+
+// Finish returns the best candidate found. If the list had fewer than two
+// distinct values the candidate is invalid.
+func (e *ContEval) Finish() Candidate {
+	return e.best
+}
+
+// MaxEnumCard is the default cardinality threshold above which categorical
+// split search switches from exhaustive subset enumeration to the greedy
+// subsetting algorithm (SPRINT's "if the cardinality is too large a greedy
+// subsetting algorithm is used").
+const MaxEnumCard = 10
+
+// CatEval streams a categorical attribute list, accumulating the
+// class×category count matrix, then searches subsets.
+type CatEval struct {
+	attr     int
+	card     int
+	nclasses int
+	counts   []int64 // counts[class*card+cat]
+	catTot   []int64 // per-category totals
+	total    []int64
+	n        int64
+	maxEnum  int
+}
+
+// NewCatEval creates an evaluator for categorical attribute attr with domain
+// cardinality card at a leaf whose class histogram is total. maxEnum
+// overrides the enumeration threshold when > 0.
+func NewCatEval(attr, card int, total []int64, maxEnum int) *CatEval {
+	if maxEnum <= 0 {
+		maxEnum = MaxEnumCard
+	}
+	e := &CatEval{
+		attr: attr, card: card, nclasses: len(total),
+		counts:  make([]int64, len(total)*card),
+		catTot:  make([]int64, card),
+		total:   append([]int64(nil), total...),
+		maxEnum: maxEnum,
+	}
+	for _, c := range e.total {
+		e.n += c
+	}
+	return e
+}
+
+// Push consumes the next record (order irrelevant for categorical lists).
+func (e *CatEval) Push(r alist.Record) {
+	cat := int32(r.Value)
+	e.counts[int(r.Class)*e.card+int(cat)]++
+	e.catTot[cat]++
+}
+
+// PushChunk consumes a chunk of records.
+func (e *CatEval) PushChunk(recs []alist.Record) {
+	for i := range recs {
+		e.Push(recs[i])
+	}
+}
+
+// Merge folds another evaluator's counts into this one; used by the
+// record-data-parallel scheme where each processor gathers the count matrix
+// of its own chunk. Both evaluators must describe the same attribute.
+func (e *CatEval) Merge(o *CatEval) {
+	for i := range e.counts {
+		e.counts[i] += o.counts[i]
+	}
+	for i := range e.catTot {
+		e.catTot[i] += o.catTot[i]
+	}
+}
+
+// Finish searches for the best subset split over the gathered counts.
+func (e *CatEval) Finish() Candidate {
+	// Gather the categories actually present at this leaf; absent
+	// categories are irrelevant to the gini of this node and are left on
+	// the right branch deterministically.
+	present := make([]int32, 0, e.card)
+	for c := 0; c < e.card; c++ {
+		if e.catTot[c] > 0 {
+			present = append(present, int32(c))
+		}
+	}
+	invalid := Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: math.Inf(1)}
+	if len(present) < 2 {
+		return invalid
+	}
+	if len(present) <= e.maxEnum {
+		return e.enumerate(present)
+	}
+	return e.greedy(present)
+}
+
+// evalSubset computes the split gini of putting exactly the categories in
+// mask (over the present list) on the left.
+func (e *CatEval) evalSubset(present []int32, member func(int) bool) (g float64, nl, nr int64, left, right []int64) {
+	left = make([]int64, e.nclasses)
+	right = make([]int64, e.nclasses)
+	copy(right, e.total)
+	for i, cat := range present {
+		if !member(i) {
+			continue
+		}
+		for j := 0; j < e.nclasses; j++ {
+			c := e.counts[j*e.card+int(cat)]
+			left[j] += c
+			right[j] -= c
+		}
+		nl += e.catTot[cat]
+	}
+	nr = e.n - nl
+	return SplitGini(left, right, nl, nr), nl, nr, left, right
+}
+
+// enumerate tries every distinct bipartition of the present categories.
+// Masks with bit 0 set cover each unordered bipartition exactly once.
+func (e *CatEval) enumerate(present []int32) Candidate {
+	best := Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: math.Inf(1)}
+	m := len(present)
+	for mask := uint64(1); mask < 1<<uint(m); mask += 2 { // bit 0 always set
+		if mask == (1<<uint(m))-1 {
+			continue // all present on the left ⇒ empty right
+		}
+		g, nl, nr, _, _ := e.evalSubset(present, func(i int) bool { return mask&(1<<uint(i)) != 0 })
+		if nl == 0 || nr == 0 {
+			continue
+		}
+		cand := Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: g,
+			NLeft: nl, NRight: nr, Valid: true}
+		// Materializing the subset for every mask would be wasteful; only
+		// build it when the candidate wins. Ties break toward the earlier
+		// (smaller) mask because Better is strict.
+		if cand.Better(best) {
+			set := NewCatSet(e.card)
+			for i, cat := range present {
+				if mask&(1<<uint(i)) != 0 {
+					set.Add(cat)
+				}
+			}
+			cand.Subset = set
+			best = cand
+		}
+	}
+	return best
+}
+
+// greedy grows the left subset one category at a time, always adding the
+// category that most reduces the split gini, stopping when no addition
+// improves it (SPRINT's greedy subsetting).
+func (e *CatEval) greedy(present []int32) Candidate {
+	inLeft := make([]bool, len(present))
+	bestGini := math.Inf(1)
+	var bestCand Candidate
+	for {
+		improved := -1
+		roundBest := bestGini
+		var roundCand Candidate
+		for i := range present {
+			if inLeft[i] {
+				continue
+			}
+			inLeft[i] = true
+			g, nl, nr, _, _ := e.evalSubset(present, func(k int) bool { return inLeft[k] })
+			inLeft[i] = false
+			if nl == 0 || nr == 0 {
+				continue
+			}
+			if g < roundBest {
+				roundBest = g
+				improved = i
+				roundCand = Candidate{Attr: e.attr, Kind: dataset.Categorical,
+					Gini: g, NLeft: nl, NRight: nr, Valid: true}
+			}
+		}
+		if improved < 0 {
+			break
+		}
+		inLeft[improved] = true
+		bestGini = roundBest
+		set := NewCatSet(e.card)
+		for i, cat := range present {
+			if inLeft[i] {
+				set.Add(cat)
+			}
+		}
+		roundCand.Subset = set
+		bestCand = roundCand
+	}
+	if !bestCand.Valid {
+		return Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: math.Inf(1)}
+	}
+	return bestCand
+}

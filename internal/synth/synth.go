@@ -1,0 +1,407 @@
+// Package synth implements the synthetic training-data generator of
+// Agrawal, Imielinski and Swami ("Database Mining: A Performance
+// Perspective", IEEE TKDE 1993), the generator used by SLIQ, SPRINT and by
+// the paper reproduced here. It produces tuples over nine canonical
+// attributes and labels them with one of ten classification functions of
+// increasing complexity; Function 1 (simple, tiny trees) and Function 7
+// (complex, large trees) are the two the paper evaluates.
+//
+// The paper's datasets are named Fx-Ay-DzK: function x, y attributes, z
+// thousand tuples. Widths beyond the nine canonical attributes are reached
+// by appending synthetic noise attributes (alternating uniform continuous
+// and uniform categorical), mirroring how the SPRINT-family studies widened
+// their inputs; the noise attributes carry no class signal, so they only add
+// per-attribute work — exactly their role in the scaling experiments.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Canonical attribute indices within the base schema.
+const (
+	AttrSalary = iota
+	AttrCommission
+	AttrAge
+	AttrElevel
+	AttrCar
+	AttrZipcode
+	AttrHvalue
+	AttrHyears
+	AttrLoan
+	numBaseAttrs
+)
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Function selects the classification function, 1..10.
+	Function int
+	// Tuples is the number of tuples to generate.
+	Tuples int
+	// Attrs is the total attribute count; must be >= 9. Attributes beyond
+	// the canonical nine are uniform noise (alternating continuous and
+	// categorical with 10 categories).
+	Attrs int
+	// Seed seeds the deterministic generator.
+	Seed int64
+	// Perturbation is the fraction p used to perturb continuous values of
+	// the canonical attributes after labeling, as in the original
+	// generator (section 4 of AIS): v' = v + r*p*range, r uniform in
+	// [-0.5, 0.5]. Zero disables perturbation.
+	Perturbation float64
+	// LabelNoise flips the class of each tuple with this probability
+	// after labeling (uniformly to another class). Zero disables.
+	LabelNoise float64
+	// Classes selects a multi-way labeling (default 2, the paper's
+	// two-group functions). Function 1 supports 3 classes (its natural
+	// age bands: <40, 40–60, ≥60); functions 7–10 support any k ≥ 2 by
+	// banding their disposable-income score into equal-width ranges.
+	Classes int
+}
+
+// Name returns the paper-style dataset name, e.g. "F7-A32-D250K".
+func (c Config) Name() string {
+	d := c.Tuples
+	if d%1000 == 0 {
+		return fmt.Sprintf("F%d-A%d-D%dK", c.Function, c.Attrs, d/1000)
+	}
+	return fmt.Sprintf("F%d-A%d-D%d", c.Function, c.Attrs, d)
+}
+
+func (c Config) validate() error {
+	if c.Function < 1 || c.Function > 10 {
+		return fmt.Errorf("synth: function must be 1..10, got %d", c.Function)
+	}
+	if c.Tuples < 0 {
+		return fmt.Errorf("synth: negative tuple count %d", c.Tuples)
+	}
+	if c.Attrs == 0 {
+		c.Attrs = numBaseAttrs
+	}
+	if c.Attrs < numBaseAttrs {
+		return fmt.Errorf("synth: need at least %d attributes, got %d", numBaseAttrs, c.Attrs)
+	}
+	if c.Perturbation < 0 || c.Perturbation > 1 {
+		return fmt.Errorf("synth: perturbation must be in [0,1], got %g", c.Perturbation)
+	}
+	if c.LabelNoise < 0 || c.LabelNoise > 1 {
+		return fmt.Errorf("synth: label noise must be in [0,1], got %g", c.LabelNoise)
+	}
+	if c.Classes != 0 && c.Classes != 2 {
+		switch {
+		case c.Function == 1 && c.Classes == 3:
+		case c.Function >= 7 && c.Function <= 10 && c.Classes >= 2 && c.Classes <= 26:
+		default:
+			return fmt.Errorf("synth: function %d does not support %d classes", c.Function, c.Classes)
+		}
+	}
+	return nil
+}
+
+// Schema builds the dataset schema for the given total attribute width and
+// a two-class labeling.
+func Schema(attrs int) *dataset.Schema { return SchemaK(attrs, 2) }
+
+// SchemaK builds the dataset schema with k class labels GroupA, GroupB, ….
+func SchemaK(attrs, k int) *dataset.Schema {
+	if attrs < numBaseAttrs {
+		attrs = numBaseAttrs
+	}
+	if k < 2 {
+		k = 2
+	}
+	classes := make([]string, k)
+	for i := range classes {
+		classes[i] = "Group" + string(rune('A'+i))
+	}
+	s := &dataset.Schema{Classes: classes}
+	elevels := []string{"e0", "e1", "e2", "e3", "e4"}
+	cars := make([]string, 20)
+	for i := range cars {
+		cars[i] = fmt.Sprintf("make%d", i+1)
+	}
+	zips := make([]string, 9)
+	for i := range zips {
+		zips[i] = fmt.Sprintf("zip%d", i+1)
+	}
+	s.Attrs = []dataset.Attribute{
+		{Name: "salary", Kind: dataset.Continuous},
+		{Name: "commission", Kind: dataset.Continuous},
+		{Name: "age", Kind: dataset.Continuous},
+		{Name: "elevel", Kind: dataset.Categorical, Categories: elevels},
+		{Name: "car", Kind: dataset.Categorical, Categories: cars},
+		{Name: "zipcode", Kind: dataset.Categorical, Categories: zips},
+		{Name: "hvalue", Kind: dataset.Continuous},
+		{Name: "hyears", Kind: dataset.Continuous},
+		{Name: "loan", Kind: dataset.Continuous},
+	}
+	// Noise attributes: alternate continuous and 10-way categorical.
+	noiseCats := make([]string, 10)
+	for i := range noiseCats {
+		noiseCats[i] = fmt.Sprintf("v%d", i)
+	}
+	for i := numBaseAttrs; i < attrs; i++ {
+		if (i-numBaseAttrs)%2 == 0 {
+			s.Attrs = append(s.Attrs, dataset.Attribute{
+				Name: fmt.Sprintf("noise%dc", i-numBaseAttrs),
+				Kind: dataset.Continuous,
+			})
+		} else {
+			s.Attrs = append(s.Attrs, dataset.Attribute{
+				Name:       fmt.Sprintf("noise%dd", i-numBaseAttrs),
+				Kind:       dataset.Categorical,
+				Categories: append([]string(nil), noiseCats...),
+			})
+		}
+	}
+	return s
+}
+
+// tuple holds the canonical attribute values before encoding.
+type tuple struct {
+	salary, commission, age float64
+	elevel, car, zipcode    int32
+	hvalue, hyears, loan    float64
+}
+
+// Generate produces a labeled table according to the configuration.
+func Generate(c Config) (*dataset.Table, error) {
+	if c.Attrs == 0 {
+		c.Attrs = numBaseAttrs
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	k := c.Classes
+	if k == 0 {
+		k = 2
+	}
+	schema := SchemaK(c.Attrs, k)
+	tbl, err := dataset.NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Grow(c.Tuples)
+	// Separate streams keep the drawn tuples identical across runs that
+	// differ only in perturbation or label-noise settings.
+	rng := rand.New(rand.NewSource(c.Seed))
+	perturbRng := rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D))
+	noiseRng := rand.New(rand.NewSource(c.Seed ^ 0x2545F4914F6CDD1D))
+	tu := dataset.Tuple{
+		Cont: make([]float64, len(schema.Attrs)),
+		Cat:  make([]int32, len(schema.Attrs)),
+	}
+	for i := 0; i < c.Tuples; i++ {
+		v := drawTuple(rng)
+		code := classifyK(c.Function, v, k)
+		if c.Perturbation > 0 {
+			perturb(perturbRng, &v, c.Perturbation)
+		}
+		if c.LabelNoise > 0 && noiseRng.Float64() < c.LabelNoise {
+			flip := int32(noiseRng.Intn(k - 1))
+			if flip >= code {
+				flip++
+			}
+			code = flip
+		}
+		tu.Cont[AttrSalary] = v.salary
+		tu.Cont[AttrCommission] = v.commission
+		tu.Cont[AttrAge] = v.age
+		tu.Cat[AttrElevel] = v.elevel
+		tu.Cat[AttrCar] = v.car
+		tu.Cat[AttrZipcode] = v.zipcode
+		tu.Cont[AttrHvalue] = v.hvalue
+		tu.Cont[AttrHyears] = v.hyears
+		tu.Cont[AttrLoan] = v.loan
+		for a := numBaseAttrs; a < len(schema.Attrs); a++ {
+			if schema.Attrs[a].Kind == dataset.Continuous {
+				tu.Cont[a] = rng.Float64() * 1000
+			} else {
+				tu.Cat[a] = int32(rng.Intn(len(schema.Attrs[a].Categories)))
+			}
+		}
+		tu.Class = code
+		tbl.AppendFast(tu)
+	}
+	return tbl, nil
+}
+
+// drawTuple samples the nine canonical attributes per the AIS distributions.
+func drawTuple(rng *rand.Rand) tuple {
+	var v tuple
+	v.salary = uniform(rng, 20000, 150000)
+	if v.salary >= 75000 {
+		v.commission = 0
+	} else {
+		v.commission = uniform(rng, 10000, 75000)
+	}
+	v.age = uniform(rng, 20, 80)
+	v.elevel = int32(rng.Intn(5))
+	v.car = int32(rng.Intn(20))
+	v.zipcode = int32(rng.Intn(9))
+	// hvalue depends on zipcode: uniform in [0.5*k*100000, 1.5*k*100000]
+	// where k depends on zipcode (k = zipcode+1 in 1..9).
+	k := float64(v.zipcode + 1)
+	v.hvalue = uniform(rng, 0.5*k*100000, 1.5*k*100000)
+	v.hyears = uniform(rng, 1, 30)
+	v.loan = uniform(rng, 0, 500000)
+	return v
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// perturb applies the AIS perturbation to continuous canonical attributes.
+func perturb(rng *rand.Rand, v *tuple, p float64) {
+	jitter := func(x, lo, hi float64) float64 {
+		x += (rng.Float64() - 0.5) * p * (hi - lo)
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		return x
+	}
+	v.salary = jitter(v.salary, 20000, 150000)
+	if v.commission > 0 {
+		v.commission = jitter(v.commission, 10000, 75000)
+	}
+	v.age = jitter(v.age, 20, 80)
+	k := float64(v.zipcode + 1)
+	v.hvalue = jitter(v.hvalue, 0.5*k*100000, 1.5*k*100000)
+	v.hyears = jitter(v.hyears, 1, 30)
+	v.loan = jitter(v.loan, 0, 500000)
+}
+
+// classifyK returns the class code for a k-way labeling.
+func classifyK(fn int, v tuple, k int) int32 {
+	if k <= 2 {
+		if classify(fn, v) {
+			return 0
+		}
+		return 1
+	}
+	if fn == 1 { // natural age bands
+		switch {
+		case v.age < 40:
+			return 0
+		case v.age < 60:
+			return 1
+		default:
+			return 2
+		}
+	}
+	// Functions 7-10: band the disposable score into k equal-width ranges
+	// over its practical span.
+	var score, lo, hi float64
+	switch fn {
+	case 7:
+		score = 0.67*(v.salary+v.commission) - 0.2*v.loan - 20000
+		lo, hi = -100000, 120000
+	case 8:
+		score = 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) - 20000
+		lo, hi = -25000, 110000
+	case 9:
+		score = 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) - 0.2*v.loan - 10000
+		lo, hi = -120000, 115000
+	default: // 10
+		equity := 0.0
+		if v.hyears >= 20 {
+			equity = 0.1 * v.hvalue * (v.hyears - 20)
+		}
+		score = 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) + 0.2*equity - 10000
+		lo, hi = -25000, 300000
+	}
+	band := int((score - lo) / (hi - lo) * float64(k))
+	if band < 0 {
+		band = 0
+	}
+	if band >= k {
+		band = k - 1
+	}
+	return int32(band)
+}
+
+// classify applies classification function fn (1..10); true means Group A.
+func classify(fn int, v tuple) bool {
+	switch fn {
+	case 1:
+		return v.age < 40 || v.age >= 60
+	case 2:
+		return (v.age < 40 && between(v.salary, 50000, 100000)) ||
+			(v.age >= 40 && v.age < 60 && between(v.salary, 75000, 125000)) ||
+			(v.age >= 60 && between(v.salary, 25000, 75000))
+	case 3:
+		return (v.age < 40 && (v.elevel == 0 || v.elevel == 1)) ||
+			(v.age >= 40 && v.age < 60 && v.elevel >= 1 && v.elevel <= 3) ||
+			(v.age >= 60 && v.elevel >= 2 && v.elevel <= 4)
+	case 4:
+		switch {
+		case v.age < 40:
+			if v.elevel <= 1 {
+				return between(v.salary, 25000, 75000)
+			}
+			return between(v.salary, 50000, 100000)
+		case v.age < 60:
+			if v.elevel >= 1 && v.elevel <= 3 {
+				return between(v.salary, 50000, 100000)
+			}
+			return between(v.salary, 75000, 125000)
+		default:
+			if v.elevel >= 2 && v.elevel <= 4 {
+				return between(v.salary, 50000, 100000)
+			}
+			return between(v.salary, 25000, 75000)
+		}
+	case 5:
+		switch {
+		case v.age < 40:
+			if between(v.salary, 50000, 100000) {
+				return between(v.loan, 100000, 300000)
+			}
+			return between(v.loan, 200000, 400000)
+		case v.age < 60:
+			if between(v.salary, 75000, 125000) {
+				return between(v.loan, 200000, 400000)
+			}
+			return between(v.loan, 300000, 500000)
+		default:
+			if between(v.salary, 25000, 75000) {
+				return between(v.loan, 300000, 500000)
+			}
+			return between(v.loan, 100000, 300000)
+		}
+	case 6:
+		total := v.salary + v.commission
+		return (v.age < 40 && between(total, 50000, 100000)) ||
+			(v.age >= 40 && v.age < 60 && between(total, 75000, 125000)) ||
+			(v.age >= 60 && between(total, 25000, 75000))
+	case 7:
+		return disposable7(v) > 0
+	case 8:
+		return 0.67*(v.salary+v.commission)-5000*float64(v.elevel)-20000 > 0
+	case 9:
+		return 0.67*(v.salary+v.commission)-5000*float64(v.elevel)-0.2*v.loan-10000 > 0
+	case 10:
+		equity := 0.0
+		if v.hyears >= 20 {
+			equity = 0.1 * v.hvalue * (v.hyears - 20)
+		}
+		return 0.67*(v.salary+v.commission)-5000*float64(v.elevel)+0.2*equity-10000 > 0
+	default:
+		panic(fmt.Sprintf("synth: invalid function %d", fn))
+	}
+}
+
+// disposable7 is Function 7's disposable income:
+// 0.67*(salary+commission) - 0.2*loan - 20000.
+func disposable7(v tuple) float64 {
+	return 0.67*(v.salary+v.commission) - 0.2*v.loan - 20000
+}
+
+func between(x, lo, hi float64) bool { return x >= lo && x <= hi }

@@ -1,0 +1,235 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema(9)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttrs() != 9 || s.NumClasses() != 2 {
+		t.Fatalf("shape %d/%d", s.NumAttrs(), s.NumClasses())
+	}
+	wantKinds := []dataset.Kind{
+		dataset.Continuous, dataset.Continuous, dataset.Continuous,
+		dataset.Categorical, dataset.Categorical, dataset.Categorical,
+		dataset.Continuous, dataset.Continuous, dataset.Continuous,
+	}
+	for i, k := range wantKinds {
+		if s.Attrs[i].Kind != k {
+			t.Fatalf("attr %d kind %v, want %v", i, s.Attrs[i].Kind, k)
+		}
+	}
+	// Padded schema alternates noise kinds and validates.
+	s32 := Schema(32)
+	if err := s32.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s32.NumAttrs() != 32 {
+		t.Fatalf("want 32 attrs, got %d", s32.NumAttrs())
+	}
+	if s32.Attrs[9].Kind != dataset.Continuous || s32.Attrs[10].Kind != dataset.Categorical {
+		t.Fatal("noise attributes should alternate continuous/categorical")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Function: 0, Tuples: 1},
+		{Function: 11, Tuples: 1},
+		{Function: 1, Tuples: -1},
+		{Function: 1, Tuples: 1, Attrs: 5},
+		{Function: 1, Tuples: 1, Perturbation: 2},
+		{Function: 1, Tuples: 1, LabelNoise: -0.1},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := (Config{Function: 7, Attrs: 32, Tuples: 250000}).Name(); got != "F7-A32-D250K" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := (Config{Function: 1, Attrs: 9, Tuples: 123}).Name(); got != "F1-A9-D123" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Function: 7, Attrs: 12, Tuples: 100, Seed: 42, Perturbation: 0.05}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumTuples(); i++ {
+		if a.Class(i) != b.Class(i) || a.ContValue(0, i) != b.ContValue(0, i) {
+			t.Fatalf("generation not deterministic at tuple %d", i)
+		}
+	}
+	c, err := Generate(Config{Function: 7, Attrs: 12, Tuples: 100, Seed: 43, Perturbation: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.NumTuples(); i++ {
+		if a.ContValue(0, i) != c.ContValue(0, i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestAttributeRanges(t *testing.T) {
+	tbl, err := Generate(Config{Function: 1, Attrs: 9, Tuples: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.NumTuples(); i++ {
+		salary := tbl.ContValue(AttrSalary, i)
+		if salary < 20000 || salary > 150000 {
+			t.Fatalf("salary %g out of range", salary)
+		}
+		comm := tbl.ContValue(AttrCommission, i)
+		if salary >= 75000 && comm != 0 {
+			t.Fatalf("commission must be 0 for salary %g, got %g", salary, comm)
+		}
+		if salary < 75000 && (comm < 10000 || comm > 75000) {
+			t.Fatalf("commission %g out of range", comm)
+		}
+		age := tbl.ContValue(AttrAge, i)
+		if age < 20 || age > 80 {
+			t.Fatalf("age %g out of range", age)
+		}
+		zip := tbl.CatValue(AttrZipcode, i)
+		k := float64(zip + 1)
+		hv := tbl.ContValue(AttrHvalue, i)
+		if hv < 0.5*k*100000 || hv > 1.5*k*100000 {
+			t.Fatalf("hvalue %g out of range for zip %d", hv, zip)
+		}
+		loan := tbl.ContValue(AttrLoan, i)
+		if loan < 0 || loan > 500000 {
+			t.Fatalf("loan %g out of range", loan)
+		}
+	}
+}
+
+// TestFunctionLabels verifies each classification function against a direct
+// recomputation on the generated (unperturbed) attributes.
+func TestFunctionLabels(t *testing.T) {
+	for fn := 1; fn <= 10; fn++ {
+		tbl, err := Generate(Config{Function: fn, Attrs: 9, Tuples: 500, Seed: int64(fn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := tbl.ClassHistogram()
+		if hist[0] == 0 || hist[1] == 0 {
+			t.Errorf("F%d: degenerate class distribution %v", fn, hist)
+		}
+		for i := 0; i < tbl.NumTuples(); i++ {
+			v := tuple{
+				salary:     tbl.ContValue(AttrSalary, i),
+				commission: tbl.ContValue(AttrCommission, i),
+				age:        tbl.ContValue(AttrAge, i),
+				elevel:     tbl.CatValue(AttrElevel, i),
+				car:        tbl.CatValue(AttrCar, i),
+				zipcode:    tbl.CatValue(AttrZipcode, i),
+				hvalue:     tbl.ContValue(AttrHvalue, i),
+				hyears:     tbl.ContValue(AttrHyears, i),
+				loan:       tbl.ContValue(AttrLoan, i),
+			}
+			want := int32(1)
+			if classify(fn, v) {
+				want = 0
+			}
+			if tbl.Class(i) != want {
+				t.Fatalf("F%d tuple %d: class %d, want %d", fn, i, tbl.Class(i), want)
+			}
+		}
+	}
+}
+
+func TestF1IsAgeRule(t *testing.T) {
+	tbl, err := Generate(Config{Function: 1, Attrs: 9, Tuples: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.NumTuples(); i++ {
+		age := tbl.ContValue(AttrAge, i)
+		want := int32(1)
+		if age < 40 || age >= 60 {
+			want = 0
+		}
+		if tbl.Class(i) != want {
+			t.Fatalf("tuple %d age %g class %d", i, age, tbl.Class(i))
+		}
+	}
+}
+
+func TestLabelNoiseRate(t *testing.T) {
+	n := 20000
+	clean, err := Generate(Config{Function: 1, Attrs: 9, Tuples: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Generate(Config{Function: 1, Attrs: 9, Tuples: n, Seed: 5, LabelNoise: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := 0; i < n; i++ {
+		if clean.Class(i) != noisy.Class(i) {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(n)
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("label noise rate %.3f, want ≈0.10", rate)
+	}
+}
+
+// Property: perturbation keeps canonical attributes within their domains.
+func TestPerturbationStaysInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		tbl, err := Generate(Config{Function: 7, Attrs: 9, Tuples: 50, Seed: seed, Perturbation: 0.3})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tbl.NumTuples(); i++ {
+			s := tbl.ContValue(AttrSalary, i)
+			a := tbl.ContValue(AttrAge, i)
+			l := tbl.ContValue(AttrLoan, i)
+			if s < 20000 || s > 150000 || a < 20 || a > 80 || l < 0 || l > 500000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTuples(t *testing.T) {
+	tbl, err := Generate(Config{Function: 1, Attrs: 9, Tuples: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumTuples() != 0 {
+		t.Fatal("want empty table")
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace defines cost traces of a classifier build. A profiling
+// (serial) run records the measured wall-clock cost of every work unit — E
+// (split evaluation, per attribute per leaf), W (winner selection + probe
+// construction, per leaf) and S (list splitting, per attribute per leaf) —
+// together with the tree's level/leaf genealogy. The virtual-time SMP
+// simulator (internal/sim) replays each parallel scheme's scheduling policy
+// over such a trace to regenerate the paper's speedup figures on hosts
+// without a multiprocessor.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is the cost record of one serial build.
+type Trace struct {
+	// Dataset is the paper-style dataset name (e.g. "F7-A32-D250K").
+	Dataset string `json:"dataset"`
+	// NAttrs is the attribute count.
+	NAttrs int `json:"nattrs"`
+	// NTuples is the training-set size.
+	NTuples int `json:"ntuples"`
+	// SetupSeconds is the measured attribute-list creation time.
+	SetupSeconds float64 `json:"setup_seconds"`
+	// SortSeconds is the measured continuous-attribute pre-sort time.
+	SortSeconds float64 `json:"sort_seconds"`
+	// BuildSeconds is the measured serial build (growth) time.
+	BuildSeconds float64 `json:"build_seconds"`
+	// Levels holds one entry per tree level, root first.
+	Levels []Level `json:"levels"`
+}
+
+// Level records the leaves processed at one tree level.
+type Level struct {
+	Leaves []Leaf `json:"leaves"`
+}
+
+// Leaf records the work done for one frontier leaf.
+type Leaf struct {
+	// Parent is the index of the parent leaf in the previous level's
+	// Leaves slice (-1 for the root).
+	Parent int `json:"parent"`
+	// N is the number of tuples at the leaf.
+	N int64 `json:"n"`
+	// E[a] is the measured evaluation cost of attribute a, seconds.
+	E []float64 `json:"e"`
+	// W is the measured winner-selection + probe-construction cost.
+	W float64 `json:"w"`
+	// S[a] is the measured split cost of attribute a, seconds.
+	S []float64 `json:"s"`
+	// Split reports whether the leaf was actually split.
+	Split bool `json:"split"`
+	// NValidChildren is how many children continue to the next level
+	// (0..2); they appear in the next level's Leaves in leaf order, left
+	// child before right.
+	NValidChildren int `json:"valid_children"`
+}
+
+// TotalE returns the summed E cost of the leaf.
+func (l *Leaf) TotalE() float64 {
+	var t float64
+	for _, c := range l.E {
+		t += c
+	}
+	return t
+}
+
+// TotalS returns the summed S cost of the leaf.
+func (l *Leaf) TotalS() float64 {
+	var t float64
+	for _, c := range l.S {
+		t += c
+	}
+	return t
+}
+
+// SerialSeconds returns the sum of all unit costs — the virtual serial build
+// time implied by the trace (equals the measured build time minus untraced
+// overheads).
+func (t *Trace) SerialSeconds() float64 {
+	var s float64
+	for i := range t.Levels {
+		for j := range t.Levels[i].Leaves {
+			l := &t.Levels[i].Leaves[j]
+			s += l.TotalE() + l.W + l.TotalS()
+		}
+	}
+	return s
+}
+
+// Validate checks structural consistency: per-leaf slice widths and parent
+// genealogy.
+func (t *Trace) Validate() error {
+	for i := range t.Levels {
+		lv := &t.Levels[i]
+		childSeen := 0
+		if i+1 < len(t.Levels) {
+			childSeen = len(t.Levels[i+1].Leaves)
+		}
+		declared := 0
+		for j := range lv.Leaves {
+			lf := &lv.Leaves[j]
+			if len(lf.E) != t.NAttrs || len(lf.S) != t.NAttrs {
+				return fmt.Errorf("trace: level %d leaf %d has %d/%d attr costs, want %d",
+					i, j, len(lf.E), len(lf.S), t.NAttrs)
+			}
+			if i == 0 && lf.Parent != -1 {
+				return fmt.Errorf("trace: root leaf has parent %d", lf.Parent)
+			}
+			if i > 0 && (lf.Parent < 0 || lf.Parent >= len(t.Levels[i-1].Leaves)) {
+				return fmt.Errorf("trace: level %d leaf %d parent %d out of range", i, j, lf.Parent)
+			}
+			declared += lf.NValidChildren
+		}
+		if i+1 < len(t.Levels) && declared != childSeen {
+			return fmt.Errorf("trace: level %d declares %d children, level %d has %d leaves",
+				i, declared, i+1, childSeen)
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// WriteFile serializes the trace to the named file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read deserializes a trace from JSON.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile deserializes a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Dataset: "T", NAttrs: 2, NTuples: 10,
+		SetupSeconds: 0.5, SortSeconds: 0.25, BuildSeconds: 2,
+		Levels: []Level{
+			{Leaves: []Leaf{{
+				Parent: -1, N: 10,
+				E: []float64{1, 2}, W: 0.5, S: []float64{0.25, 0.25},
+				Split: true, NValidChildren: 2,
+			}}},
+			{Leaves: []Leaf{
+				{Parent: 0, N: 6, E: []float64{0.5, 0.5}, W: 0.1, S: []float64{0.1, 0.1}},
+				{Parent: 0, N: 4, E: []float64{0.4, 0.4}, W: 0.1, S: []float64{0.1, 0.1}},
+			}},
+		},
+	}
+}
+
+func TestTotalsAndSerial(t *testing.T) {
+	tr := sample()
+	root := &tr.Levels[0].Leaves[0]
+	if root.TotalE() != 3 || root.TotalS() != 0.5 {
+		t.Fatalf("totals %g/%g", root.TotalE(), root.TotalS())
+	}
+	want := 3 + 0.5 + 0.5 + // root
+		1 + 0.1 + 0.2 + // leaf 1
+		0.8 + 0.1 + 0.2 // leaf 2
+	if got := tr.SerialSeconds(); !close(got, want) {
+		t.Fatalf("SerialSeconds = %g, want %g", got, want)
+	}
+}
+
+func close(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong attr width.
+	bad := sample()
+	bad.Levels[0].Leaves[0].E = []float64{1}
+	if bad.Validate() == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Root with a parent.
+	bad = sample()
+	bad.Levels[0].Leaves[0].Parent = 3
+	if bad.Validate() == nil {
+		t.Fatal("root parent accepted")
+	}
+	// Parent out of range.
+	bad = sample()
+	bad.Levels[1].Leaves[0].Parent = 9
+	if bad.Validate() == nil {
+		t.Fatal("bad parent accepted")
+	}
+	// Child count mismatch.
+	bad = sample()
+	bad.Levels[0].Leaves[0].NValidChildren = 1
+	if bad.Validate() == nil {
+		t.Fatal("child mismatch accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != tr.Dataset || back.NAttrs != tr.NAttrs ||
+		len(back.Levels) != len(tr.Levels) ||
+		back.Levels[1].Leaves[1].N != 4 {
+		t.Fatal("round trip lost data")
+	}
+	// Invalid traces are rejected on read.
+	var buf2 bytes.Buffer
+	bad := sample()
+	bad.Levels[0].Leaves[0].NValidChildren = 0
+	if err := bad.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf2); err == nil {
+		t.Fatal("invalid trace accepted on read")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := sample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NTuples != 10 {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

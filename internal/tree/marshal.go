@@ -1,0 +1,238 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+)
+
+// The JSON model format is versioned and self-contained: it embeds the
+// schema so a loaded model can validate and classify rows by attribute
+// name without the training data.
+
+// modelJSON is the on-disk envelope.
+type modelJSON struct {
+	Format  string     `json:"format"`
+	Version int        `json:"version"`
+	Schema  schemaJSON `json:"schema"`
+	Root    *nodeJSON  `json:"root"`
+}
+
+type schemaJSON struct {
+	Attrs   []attrJSON `json:"attrs"`
+	Classes []string   `json:"classes"`
+}
+
+type attrJSON struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+type nodeJSON struct {
+	N      int64      `json:"n"`
+	Counts []int64    `json:"counts"`
+	Class  int32      `json:"class"`
+	Split  *splitJSON `json:"split,omitempty"`
+	Left   *nodeJSON  `json:"left,omitempty"`
+	Right  *nodeJSON  `json:"right,omitempty"`
+}
+
+type splitJSON struct {
+	Attr      int     `json:"attr"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Subset    []int32 `json:"subset,omitempty"`
+}
+
+const (
+	modelFormat  = "parclass-decision-tree"
+	modelVersion = 1
+)
+
+// Write serializes the tree as versioned JSON.
+func (t *Tree) Write(w io.Writer) error {
+	m := modelJSON{
+		Format:  modelFormat,
+		Version: modelVersion,
+		Schema: schemaJSON{
+			Classes: t.Schema.Classes,
+		},
+		Root: encodeNode(t.Root),
+	}
+	for i := range t.Schema.Attrs {
+		a := &t.Schema.Attrs[i]
+		kind := "continuous"
+		if a.Kind == dataset.Categorical {
+			kind = "categorical"
+		}
+		m.Schema.Attrs = append(m.Schema.Attrs, attrJSON{
+			Name: a.Name, Kind: kind, Categories: a.Categories,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// WriteFile serializes the tree to the named file.
+func (t *Tree) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodeNode(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	out := &nodeJSON{N: n.N, Counts: n.ClassCounts, Class: n.Class}
+	if !n.IsLeaf() {
+		s := &splitJSON{Attr: n.Split.Attr}
+		if n.Split.Kind == dataset.Continuous {
+			s.Threshold = n.Split.Threshold
+		} else {
+			for c := int32(0); int(c) < n.Split.Subset.Card(); c++ {
+				if n.Split.Subset.Has(c) {
+					s.Subset = append(s.Subset, c)
+				}
+			}
+			if s.Subset == nil {
+				s.Subset = []int32{}
+			}
+		}
+		out.Split = s
+		out.Left = encodeNode(n.Left)
+		out.Right = encodeNode(n.Right)
+	}
+	return out
+}
+
+// Read deserializes a tree written by Write, validating structure against
+// the embedded schema.
+func Read(r io.Reader) (*Tree, error) {
+	var m modelJSON
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("tree: decoding model: %w", err)
+	}
+	if m.Format != modelFormat {
+		return nil, fmt.Errorf("tree: not a parclass model (format %q)", m.Format)
+	}
+	if m.Version != modelVersion {
+		return nil, fmt.Errorf("tree: unsupported model version %d", m.Version)
+	}
+	schema := &dataset.Schema{Classes: m.Schema.Classes}
+	for _, a := range m.Schema.Attrs {
+		attr := dataset.Attribute{Name: a.Name, Categories: a.Categories}
+		switch a.Kind {
+		case "continuous":
+			attr.Kind = dataset.Continuous
+		case "categorical":
+			attr.Kind = dataset.Categorical
+		default:
+			return nil, fmt.Errorf("tree: attribute %q has unknown kind %q", a.Name, a.Kind)
+		}
+		schema.Attrs = append(schema.Attrs, attr)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Root == nil {
+		return nil, fmt.Errorf("tree: model has no root")
+	}
+	root, err := decodeNode(m.Root, schema, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Root: root, Schema: schema}
+	// Re-number in BFS order for stable ids.
+	id := 0
+	queue := []*Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.ID = id
+		id++
+		if !n.IsLeaf() {
+			queue = append(queue, n.Left, n.Right)
+		}
+	}
+	return t, nil
+}
+
+// ReadFile deserializes a tree from the named file.
+func ReadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func decodeNode(n *nodeJSON, schema *dataset.Schema, level int) (*Node, error) {
+	if len(n.Counts) != len(schema.Classes) {
+		return nil, fmt.Errorf("tree: node has %d class counts, schema has %d classes",
+			len(n.Counts), len(schema.Classes))
+	}
+	var sum int64
+	for _, c := range n.Counts {
+		if c < 0 {
+			return nil, fmt.Errorf("tree: negative class count")
+		}
+		sum += c
+	}
+	if sum != n.N {
+		return nil, fmt.Errorf("tree: class counts sum %d != n %d", sum, n.N)
+	}
+	if n.Class < 0 || int(n.Class) >= len(schema.Classes) {
+		return nil, fmt.Errorf("tree: class code %d out of range", n.Class)
+	}
+	node := &Node{Level: level, N: n.N, ClassCounts: n.Counts, Class: n.Class}
+	if n.Split == nil {
+		if n.Left != nil || n.Right != nil {
+			return nil, fmt.Errorf("tree: leaf with children")
+		}
+		return node, nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return nil, fmt.Errorf("tree: internal node missing children")
+	}
+	if n.Split.Attr < 0 || n.Split.Attr >= len(schema.Attrs) {
+		return nil, fmt.Errorf("tree: split attribute %d out of range", n.Split.Attr)
+	}
+	attr := &schema.Attrs[n.Split.Attr]
+	cand := split.Candidate{Attr: n.Split.Attr, Kind: attr.Kind, Valid: true}
+	if attr.Kind == dataset.Continuous {
+		cand.Threshold = n.Split.Threshold
+	} else {
+		set := split.NewCatSet(attr.Cardinality())
+		for _, c := range n.Split.Subset {
+			if c < 0 || int(c) >= attr.Cardinality() {
+				return nil, fmt.Errorf("tree: category code %d out of range for %q", c, attr.Name)
+			}
+			set.Add(c)
+		}
+		cand.Subset = set
+	}
+	node.Split = &cand
+	left, err := decodeNode(n.Left, schema, level+1)
+	if err != nil {
+		return nil, err
+	}
+	right, err := decodeNode(n.Right, schema, level+1)
+	if err != nil {
+		return nil, err
+	}
+	node.Left, node.Right = left, right
+	return node, nil
+}

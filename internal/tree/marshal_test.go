@@ -1,0 +1,93 @@
+package tree
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	orig := smallTree()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(orig, back) {
+		t.Fatalf("round trip changed the tree: %s", Diff(orig, back))
+	}
+	if back.Schema.Attrs[1].Categories[2] != "d" {
+		t.Fatal("schema lost in round trip")
+	}
+	// Predictions agree everywhere on a grid.
+	for x := 0.0; x < 10; x++ {
+		for c := int32(0); c < 3; c++ {
+			tu := dataset.Tuple{Cont: []float64{x, 0}, Cat: []int32{0, c}}
+			if orig.Predict(tu) != back.Predict(tu) {
+				t.Fatalf("prediction mismatch at x=%g c=%d", x, c)
+			}
+		}
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := smallTree().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().Nodes != 5 {
+		t.Fatal("file round trip lost nodes")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestModelReadRejectsCorruption(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		if err := smallTree().Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	cases := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"not json", func(s string) string { return "not json" }},
+		{"wrong format", func(s string) string {
+			return strings.Replace(s, "parclass-decision-tree", "something-else", 1)
+		}},
+		{"wrong version", func(s string) string {
+			return strings.Replace(s, `"version": 1`, `"version": 99`, 1)
+		}},
+		{"bad kind", func(s string) string {
+			return strings.Replace(s, `"kind": "continuous"`, `"kind": "mystery"`, 1)
+		}},
+		{"bad counts", func(s string) string {
+			return strings.Replace(s, `"n": 9`, `"n": 10`, 1)
+		}},
+		{"bad class", func(s string) string {
+			return strings.Replace(s, `"classes": [`, `"classes2": [`, 1)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.mut(good))); err == nil {
+				t.Fatalf("corrupted model accepted")
+			}
+		})
+	}
+}

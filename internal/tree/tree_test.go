@@ -1,0 +1,195 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+)
+
+func schema2() *dataset.Schema {
+	return &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Continuous},
+			{Name: "c", Kind: dataset.Categorical, Categories: []string{"a", "b", "d"}},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+}
+
+// smallTree builds: root x<5 → left leaf pos; right: c in {a} → leaf neg /
+// leaf pos.
+func smallTree() *Tree {
+	set := split.NewCatSet(3)
+	set.Add(0)
+	leafL := &Node{ID: 1, Level: 1, N: 4, ClassCounts: []int64{1, 3}, Class: 1}
+	leafRL := &Node{ID: 3, Level: 2, N: 2, ClassCounts: []int64{2, 0}, Class: 0}
+	leafRR := &Node{ID: 4, Level: 2, N: 3, ClassCounts: []int64{1, 2}, Class: 1}
+	right := &Node{
+		ID: 2, Level: 1, N: 5, ClassCounts: []int64{3, 2}, Class: 0,
+		Split: &split.Candidate{Attr: 1, Kind: dataset.Categorical, Subset: set, Valid: true},
+		Left:  leafRL, Right: leafRR,
+	}
+	root := &Node{
+		ID: 0, Level: 0, N: 9, ClassCounts: []int64{4, 5}, Class: 1,
+		Split: &split.Candidate{Attr: 0, Kind: dataset.Continuous, Threshold: 5, Valid: true},
+		Left:  leafL, Right: right,
+	}
+	return &Tree{Root: root, Schema: schema2()}
+}
+
+func TestPredict(t *testing.T) {
+	tr := smallTree()
+	cases := []struct {
+		x    float64
+		c    int32
+		want int32
+	}{
+		{4.9, 0, 1}, // left leaf
+		{5, 0, 0},   // right, c=a → neg
+		{9, 1, 1},   // right, c=b → pos
+		{9, 2, 1},   // right, c=d → pos
+	}
+	for _, cse := range cases {
+		tu := dataset.Tuple{Cont: []float64{cse.x, 0}, Cat: []int32{0, cse.c}}
+		if got := tr.Predict(tu); got != cse.want {
+			t.Fatalf("Predict(x=%g,c=%d) = %d, want %d", cse.x, cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := smallTree()
+	st := tr.Stats()
+	if st.Nodes != 5 || st.Leaves != 3 || st.Levels != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxLeavesPerLevel != 2 {
+		t.Fatalf("max leaves/level = %d, want 2", st.MaxLeavesPerLevel)
+	}
+	if st.LeavesPerLevel[1] != 1 || st.LeavesPerLevel[2] != 2 {
+		t.Fatalf("leaves per level %v", st.LeavesPerLevel)
+	}
+}
+
+func TestErrorsAndMajority(t *testing.T) {
+	if MajorityClass([]int64{3, 3}) != 0 {
+		t.Fatal("tie must break to lower code")
+	}
+	if MajorityClass([]int64{1, 5, 2}) != 1 {
+		t.Fatal("majority wrong")
+	}
+	n := &Node{N: 9, ClassCounts: []int64{4, 5}, Class: 1}
+	if n.Errors() != 4 {
+		t.Fatalf("errors = %d", n.Errors())
+	}
+}
+
+func TestStringAndRules(t *testing.T) {
+	tr := smallTree()
+	s := tr.String()
+	if !strings.Contains(s, "x < 5") || !strings.Contains(s, "c in {a}") {
+		t.Fatalf("rendering missing tests:\n%s", s)
+	}
+	rules := tr.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	if rules[0].Class != "pos" || rules[0].N != 4 || rules[0].Errors != 1 {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if len(rules[1].Conditions) != 2 {
+		t.Fatalf("rule 1 conditions = %v", rules[1].Conditions)
+	}
+}
+
+func TestSQL(t *testing.T) {
+	sql := smallTree().SQL()
+	if !strings.HasPrefix(sql, "CASE") || !strings.HasSuffix(sql, "END") {
+		t.Fatalf("SQL shape: %s", sql)
+	}
+	if !strings.Contains(sql, "c IN ('a')") {
+		t.Fatalf("SQL categorical test missing: %s", sql)
+	}
+	if !strings.Contains(sql, "NOT (x < 5)") {
+		t.Fatalf("SQL negation missing: %s", sql)
+	}
+	if got := strings.Count(sql, "WHEN"); got != 3 {
+		t.Fatalf("SQL has %d WHEN branches, want 3", got)
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := smallTree(), smallTree()
+	if !Equal(a, b) {
+		t.Fatalf("identical trees unequal: %s", Diff(a, b))
+	}
+	// Mutate a threshold.
+	b.Root.Split.Threshold = 6
+	if Equal(a, b) {
+		t.Fatal("threshold change undetected")
+	}
+	if d := Diff(a, b); !strings.Contains(d, "threshold") {
+		t.Fatalf("Diff = %q", d)
+	}
+	// Mutate structure.
+	c := smallTree()
+	c.Root.Right.Split = nil
+	c.Root.Right.Left = nil
+	c.Root.Right.Right = nil
+	if Equal(a, c) {
+		t.Fatal("structure change undetected")
+	}
+	// Mutate a leaf class.
+	d := smallTree()
+	d.Root.Left.Class = 0
+	if Equal(a, d) {
+		t.Fatal("class change undetected")
+	}
+	// Mutate a categorical subset.
+	e := smallTree()
+	e.Root.Right.Split.Subset.Add(1)
+	if Equal(a, e) {
+		t.Fatal("subset change undetected")
+	}
+	if Diff(a, b) == "" || Diff(a, a) != "" {
+		t.Fatal("Diff sanity")
+	}
+}
+
+func TestCollectLeavesAndAttrUsage(t *testing.T) {
+	tr := smallTree()
+	leaves := tr.CollectLeaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	if leaves[0].ID != 1 || leaves[1].ID != 3 || leaves[2].ID != 4 {
+		t.Fatal("leaves not in left-to-right order")
+	}
+	usage := tr.AttrUsage()
+	if len(usage) != 2 || usage[0].Count != 1 || usage[1].Count != 1 {
+		t.Fatalf("usage = %+v", usage)
+	}
+	if usage[0].Attr != 0 {
+		t.Fatal("equal counts must order by attr index")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	tr := smallTree()
+	tbl, err := dataset.NewTable(schema2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One correct (x<5 → pos), one wrong (x<5 but neg).
+	tbl.AppendFast(dataset.Tuple{Cont: []float64{1, 0}, Cat: []int32{0, 0}, Class: 1})
+	tbl.AppendFast(dataset.Tuple{Cont: []float64{1, 0}, Cat: []int32{0, 0}, Class: 0})
+	if acc := tr.Accuracy(tbl); acc != 0.5 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	empty, _ := dataset.NewTable(schema2())
+	if tr.Accuracy(empty) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,172 @@
+package parclass
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMulticlassEndToEnd exercises the k>2 code paths of the entire stack:
+// generation, gini over k classes, all parallel schemes, evaluation and
+// probability prediction.
+func TestMulticlassEndToEnd(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{
+		Function: 7, Tuples: 4000, Seed: 3, Classes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.ClassNames()); got != 4 {
+		t.Fatalf("classes = %d", got)
+	}
+	dist := ds.ClassDistribution()
+	for _, name := range ds.ClassNames() {
+		if dist[name] == 0 {
+			t.Fatalf("class %s empty: %v", name, dist)
+		}
+	}
+
+	train, test := ds.Shuffle(1).SplitHoldout(0.25)
+	ref, err := Train(train, Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All schemes agree on multiclass data too.
+	for _, alg := range []Algorithm{Basic, FWK, MWK, Subtree, RecordParallel} {
+		m, err := Train(train, Options{Algorithm: alg, Procs: 3, MaxDepth: 10})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if m.String() != ref.String() {
+			t.Fatalf("%v grew a different multiclass tree", alg)
+		}
+	}
+
+	if acc := ref.Accuracy(test); acc < 0.85 {
+		t.Fatalf("4-class holdout accuracy %.3f < 0.85", acc)
+	}
+	metrics := ref.Evaluate(test)
+	if len(metrics.PerClass) != 4 || len(metrics.ConfusionMatrix) != 4 {
+		t.Fatalf("metrics shape wrong: %d classes", len(metrics.PerClass))
+	}
+}
+
+func TestMulticlassF1AgeBands(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Function: 1, Tuples: 3000, Seed: 5, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(ds, Options{Algorithm: MWK, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three age bands are perfectly separable: the tree should nail them
+	// with only age splits.
+	if acc := m.Accuracy(ds); acc != 1.0 {
+		t.Fatalf("3-band age rule accuracy %.4f != 1", acc)
+	}
+	imp := m.AttrImportance()
+	if len(imp) != 1 || imp[0][:3] != "age" {
+		t.Fatalf("expected only age splits, got %v", imp)
+	}
+	if st := m.Stats(); st.Leaves != 3 {
+		t.Fatalf("3-band tree has %d leaves, want 3", st.Leaves)
+	}
+}
+
+func TestSyntheticClassesValidation(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{Function: 2, Tuples: 10, Classes: 3}); err == nil {
+		t.Fatal("F2 with 3 classes accepted")
+	}
+	if _, err := Synthetic(SyntheticConfig{Function: 7, Tuples: 10, Classes: 1}); err == nil {
+		t.Fatal("1 class accepted")
+	}
+	if _, err := Synthetic(SyntheticConfig{Function: 7, Tuples: 10, Classes: 27}); err == nil {
+		t.Fatal("27 classes accepted")
+	}
+}
+
+func TestPredictProb(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Function: 1, Tuples: 2000, Seed: 1, LabelNoise: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(ds, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := map[string]string{
+		"salary": "60000", "commission": "20000", "age": "30", "elevel": "e2",
+		"car": "make5", "zipcode": "zip4", "hvalue": "500000", "hyears": "15",
+		"loan": "200000",
+	}
+	prob, err := m.PredictProb(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range prob {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", prob)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	// The argmax of PredictProb must agree with Predict.
+	label, err := m.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestName, bestP := "", -1.0
+	for name, p := range prob {
+		if p > bestP || (p == bestP && name < bestName) {
+			bestName, bestP = name, p
+		}
+	}
+	// With a 10%-noise dataset the leaf is impure, so the max should be
+	// strictly dominant; ties with the class order caveat are acceptable.
+	if bestName != label && bestP > prob[label] {
+		t.Fatalf("PredictProb argmax %q (%.3f) disagrees with Predict %q (%.3f)",
+			bestName, bestP, label, prob[label])
+	}
+	if _, err := m.PredictProb(map[string]string{}); err == nil {
+		t.Fatal("missing attributes accepted")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{Function: 7, Tuples: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ds.Shuffle(42)
+	b := ds.Shuffle(42)
+	c := ds.Shuffle(43)
+	if a.NumRows() != ds.NumRows() {
+		t.Fatal("shuffle changed row count")
+	}
+	sameAB, sameAC := true, true
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Table().Class(i) != b.Table().Class(i) ||
+			a.Table().ContValue(0, i) != b.Table().ContValue(0, i) {
+			sameAB = false
+		}
+		if a.Table().ContValue(0, i) != c.Table().ContValue(0, i) {
+			sameAC = false
+		}
+	}
+	if !sameAB {
+		t.Fatal("same seed gave different shuffles")
+	}
+	if sameAC {
+		t.Fatal("different seeds gave identical shuffles")
+	}
+	// Class distribution preserved.
+	da, dd := a.ClassDistribution(), ds.ClassDistribution()
+	for k, v := range dd {
+		if da[k] != v {
+			t.Fatal("shuffle changed class distribution")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package parclass
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func synthDS(t testing.TB, fn, tuples int) *Dataset {
+	t.Helper()
+	ds, err := Synthetic(SyntheticConfig{
+		Function: fn, Tuples: tuples, Seed: 7, Perturbation: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	ds := synthDS(t, 1, 3000)
+	train, test := ds.SplitHoldout(0.25)
+	if train.NumRows()+test.NumRows() != ds.NumRows() {
+		t.Fatal("holdout lost rows")
+	}
+	m, err := Train(train, Options{Algorithm: MWK, Procs: 3, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F1 is the trivial age rule; the tree should nail it.
+	if acc := m.Accuracy(test); acc < 0.95 {
+		t.Fatalf("F1 holdout accuracy %.3f < 0.95", acc)
+	}
+	st := m.Stats()
+	if st.Nodes < 3 || st.Levels < 2 {
+		t.Fatalf("degenerate tree: %+v", st)
+	}
+	if m.Timings().Total() <= 0 {
+		t.Fatal("timings missing")
+	}
+	if len(m.Rules()) != st.Leaves {
+		t.Fatal("one rule per leaf expected")
+	}
+	if !strings.Contains(m.SQL(), "CASE") {
+		t.Fatal("SQL export broken")
+	}
+	if len(m.AttrImportance()) == 0 {
+		t.Fatal("importance empty")
+	}
+	// F1's concept depends only on age.
+	if !strings.HasPrefix(m.AttrImportance()[0], "age") {
+		t.Fatalf("top attribute should be age, got %v", m.AttrImportance()[0])
+	}
+}
+
+func TestAllPublicAlgorithmsAgree(t *testing.T) {
+	ds := synthDS(t, 7, 1200)
+	ref, err := Train(ds, Options{Algorithm: Serial, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Basic, FWK, MWK, Subtree, RecordParallel, SLIQ} {
+		m, err := Train(ds, Options{Algorithm: alg, Procs: 4, MaxDepth: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if m.String() != ref.String() {
+			t.Fatalf("%v grew a different tree", alg)
+		}
+	}
+}
+
+func TestPredict(t *testing.T) {
+	ds := synthDS(t, 1, 2000)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]string{
+		"salary": "50000", "commission": "20000", "elevel": "e2",
+		"car": "make3", "zipcode": "zip1", "hvalue": "100000",
+		"hyears": "10", "loan": "100000",
+	}
+	young := cloneRow(base)
+	young["age"] = "25"
+	mid := cloneRow(base)
+	mid["age"] = "50"
+	old := cloneRow(base)
+	old["age"] = "70"
+	for row, want := range map[*map[string]string]string{
+		&young: "GroupA", &mid: "GroupB", &old: "GroupA",
+	} {
+		got, err := m.Predict(*row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("age %s → %s, want %s", (*row)["age"], got, want)
+		}
+	}
+
+	// Error paths.
+	if _, err := m.Predict(map[string]string{}); err == nil {
+		t.Fatal("missing attributes accepted")
+	}
+	bad := cloneRow(base)
+	bad["age"] = "not-a-number"
+	if _, err := m.Predict(bad); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	bad2 := cloneRow(base)
+	bad2["age"] = "30"
+	bad2["car"] = "spaceship"
+	if _, err := m.Predict(bad2); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func cloneRow(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCSVRoundTripThroughAPI(t *testing.T) {
+	ds := synthDS(t, 2, 200)
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != ds.NumRows() || back.NumAttrs() != ds.NumAttrs() {
+		t.Fatal("CSV round trip lost shape")
+	}
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDiskStorageAndPruneThroughAPI(t *testing.T) {
+	ds := synthDS(t, 7, 1500)
+	m, err := Train(ds, Options{
+		Algorithm: Subtree, Procs: 2, Storage: Disk, TempDir: t.TempDir(),
+		Prune: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrunedSubtrees() == 0 {
+		t.Log("note: pruning found nothing to collapse (acceptable)")
+	}
+	if m.Accuracy(ds) < 0.8 {
+		t.Fatalf("training accuracy %.3f unexpectedly low", m.Accuracy(ds))
+	}
+}
+
+func TestDatasetMetadata(t *testing.T) {
+	ds := synthDS(t, 1, 100)
+	if ds.NumAttrs() != 9 {
+		t.Fatalf("attrs = %d", ds.NumAttrs())
+	}
+	names := ds.AttrNames()
+	if names[0] != "salary" || names[2] != "age" {
+		t.Fatalf("names = %v", names)
+	}
+	classes := ds.ClassNames()
+	if len(classes) != 2 || classes[0] != "GroupA" {
+		t.Fatalf("classes = %v", classes)
+	}
+	dist := ds.ClassDistribution()
+	if dist["GroupA"]+dist["GroupB"] != 100 {
+		t.Fatalf("distribution = %v", dist)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for a, want := range map[Algorithm]string{
+		Serial: "SERIAL", Basic: "BASIC", FWK: "FWK", MWK: "MWK", Subtree: "SUBTREE",
+	} {
+		if a.String() != want {
+			t.Fatalf("%d → %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
