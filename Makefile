@@ -1,0 +1,29 @@
+# Developer entry points. `make verify` is the tier-1 gate: it builds and
+# vets everything, runs the full test suite, and race-checks the concurrent
+# packages (the model server, the flat batch predictor, and the training
+# engines).
+
+GO ?= go
+
+.PHONY: verify build vet test race bench serve-bench
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/serve/... ./internal/flat/... ./internal/core/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# The serving hot-path trio: pointer loop vs flat walk vs sharded batch.
+serve-bench:
+	$(GO) test -run xxx -bench 'BenchmarkPredict(Pointer|Flat|BatchParallel)' .

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -216,6 +217,80 @@ func BenchmarkDiskBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- Serving hot path (flat predictor vs pointer tree) ----
+
+// servingBenchSetup trains one F7 model and materializes the benchmark
+// batch both as wire-form string rows and as decoded tuples.
+func servingBenchSetup(b *testing.B) (*Model, []map[string]string, []dataset.Tuple) {
+	b.Helper()
+	ds := synthDS(b, 7, benchTuples)
+	m, err := Train(ds, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := datasetRows(ds, benchTuples)
+	tus := make([]dataset.Tuple, ds.NumRows())
+	for i := range tus {
+		tus[i] = ds.tbl.Row(i)
+	}
+	return m, rows, tus
+}
+
+// reportRowRate attaches classified rows/second so the three serving
+// benchmarks compare directly in benchstat output.
+func reportRowRate(b *testing.B, rows int) {
+	b.Helper()
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkPredictPointer is the pre-serving baseline: per-row map decode
+// plus a pointer-chasing tree walk (the Model.Predict loop).
+func BenchmarkPredictPointer(b *testing.B) {
+	m, rows, _ := servingBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, row := range rows {
+			if _, err := m.Predict(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportRowRate(b, len(rows))
+}
+
+// BenchmarkPredictFlat isolates the compiled flat-array tree walk over
+// pre-decoded tuples.
+func BenchmarkPredictFlat(b *testing.B) {
+	m, _, tus := servingBenchSetup(b)
+	if err := m.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range tus {
+			m.compiled.Predict(tus[j])
+		}
+	}
+	reportRowRate(b, len(tus))
+}
+
+// BenchmarkPredictBatchParallel is the full serving path: PredictBatch's
+// sharded decode + compiled walk over string rows, the path parclassd's
+// /predict batches take.
+func BenchmarkPredictBatchParallel(b *testing.B) {
+	m, rows, _ := servingBenchSetup(b)
+	if err := m.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictBatch(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRowRate(b, len(rows))
 }
 
 // BenchmarkSyntheticGeneration measures the data generator.

@@ -1,0 +1,132 @@
+// Command parclassd is the model server: it trains a classifier (on CSV or
+// synthetic data) or loads a saved model, registers it, and serves
+// predictions over HTTP with hot model swapping — the serving half of the
+// repo's train→serve→measure loop (drive it with cmd/loadgen).
+//
+// Usage:
+//
+//	parclassd -synthetic F7-A32-D10K -algorithm mwk -procs 4
+//	parclassd -data train.csv -addr :9090
+//	parclassd -model m.json -name fraud
+//
+// Routes: POST /predict, GET /healthz, GET /metrics, GET /models,
+// GET /model/{name}, POST /models/{name} (hot swap). See internal/serve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	parclass "repro"
+	"repro/internal/bench"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parclassd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		name      = flag.String("name", serve.DefaultModelName, "registry name for the initial model")
+		modelPath = flag.String("model", "", "load a saved model (JSON) instead of training")
+		data      = flag.String("data", "", "CSV dataset to train on (last column is the class)")
+		synthetic = flag.String("synthetic", "", "synthetic dataset spec Fx-Ay-DzK (e.g. F7-A32-D10K)")
+		seed      = flag.Int64("seed", 1, "synthetic generator seed")
+		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree")
+		procs     = flag.Int("procs", 1, "worker processors for parallel training schemes")
+		maxDepth  = flag.Int("max-depth", 0, "tree depth bound (0 = unlimited)")
+		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
+	)
+	flag.Parse()
+
+	model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *doPrune)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Compile(); err != nil {
+		log.Fatal(err)
+	}
+	st := model.Stats()
+	log.Printf("model %q ready (%s): %d nodes, %d leaves, %d levels", *name, source, st.Nodes, st.Leaves, st.Levels)
+
+	s := serve.New(*name)
+	if _, err := s.Load(*name, model, source); err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// buildModel trains or loads the initial model and describes its origin.
+func buildModel(modelPath, data, synthetic string, seed int64, algorithm string, procs, maxDepth int, doPrune bool) (*parclass.Model, string, error) {
+	if modelPath != "" {
+		m, err := parclass.LoadModel(modelPath)
+		return m, "loaded " + modelPath, err
+	}
+	var (
+		ds     *parclass.Dataset
+		source string
+		err    error
+	)
+	switch {
+	case data != "" && synthetic != "":
+		return nil, "", fmt.Errorf("use only one of -data and -synthetic")
+	case data != "":
+		ds, err = parclass.LoadCSV(data)
+		source = "trained on " + data
+	case synthetic != "":
+		var spec bench.DataSpec
+		spec, err = bench.ParseSpec(synthetic)
+		if err == nil {
+			ds, err = parclass.Synthetic(parclass.SyntheticConfig{
+				Function: spec.Function, Attrs: spec.Attrs, Tuples: spec.Tuples,
+				Seed: seed, Perturbation: 0.05,
+			})
+		}
+		source = "trained on synthetic " + synthetic
+	default:
+		return nil, "", fmt.Errorf("need one of -model, -data or -synthetic")
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	opt := parclass.Options{Procs: procs, MaxDepth: maxDepth, Prune: doPrune}
+	switch strings.ToLower(algorithm) {
+	case "serial":
+		opt.Algorithm = parclass.Serial
+	case "basic":
+		opt.Algorithm = parclass.Basic
+	case "fwk":
+		opt.Algorithm = parclass.FWK
+	case "mwk":
+		opt.Algorithm = parclass.MWK
+	case "subtree":
+		opt.Algorithm = parclass.Subtree
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	m, err := parclass.Train(ds, opt)
+	return m, source, err
+}

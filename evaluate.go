@@ -3,6 +3,8 @@ package parclass
 import (
 	"context"
 	"fmt"
+	"io"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -17,13 +19,28 @@ func (m *Model) SaveModel(path string) error {
 	return m.tree.WriteFile(path)
 }
 
+// WriteModel serializes the model as versioned JSON to w — the streaming
+// form of SaveModel, used by the model server's hot-swap endpoint.
+func (m *Model) WriteModel(w io.Writer) error {
+	return m.tree.Write(w)
+}
+
 // LoadModel reads a model previously written with SaveModel.
 func LoadModel(path string) (*Model, error) {
 	tr, err := tree.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{tree: tr}, nil
+	return newModel(tr), nil
+}
+
+// ReadModel deserializes a model from r — the streaming form of LoadModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	tr, err := tree.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return newModel(tr), nil
 }
 
 // Metrics summarizes a model's performance on a dataset.
@@ -128,11 +145,29 @@ func (m *Model) PredictProb(row map[string]string) (map[string]float64, error) {
 }
 
 // PredictDataset classifies every row of ds (ignoring its labels) and
-// returns the predicted class names in row order.
+// returns the predicted class names in row order. Rows are already decoded
+// columnar data, so this takes the compiled flat-tree batch path directly.
 func (m *Model) PredictDataset(ds *Dataset) []string {
-	out := make([]string, ds.NumRows())
-	for i := 0; i < ds.NumRows(); i++ {
-		out[i] = m.tree.Schema.Classes[m.tree.Predict(ds.tbl.Row(i))]
+	n := ds.NumRows()
+	out := make([]string, n)
+	if n == 0 {
+		return out
+	}
+	if err := m.Compile(); err != nil {
+		// Compile only fails on malformed trees, which Train and LoadModel
+		// never produce; fall back to the pointer walk regardless.
+		for i := 0; i < n; i++ {
+			out[i] = m.tree.Schema.Classes[m.tree.Predict(ds.tbl.Row(i))]
+		}
+		return out
+	}
+	tus := make([]dataset.Tuple, n)
+	for i := range tus {
+		tus[i] = ds.tbl.Row(i)
+	}
+	codes := m.compiled.PredictBatch(tus, runtime.GOMAXPROCS(0))
+	for i, c := range codes {
+		out[i] = m.tree.Schema.Classes[c]
 	}
 	return out
 }

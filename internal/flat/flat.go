@@ -1,0 +1,118 @@
+// Package flat compiles a trained pointer tree into a cache-friendly flat
+// node array for high-throughput inference, the linearization technique of
+// Spencer's speculative GPGPU tree evaluation applied to the serving side
+// of this repo: nodes laid out in preorder (a node's left child is the next
+// array element, so the hot "goes left" path is a sequential read), split
+// tests reduced to a threshold compare or a bitmask probe, and batch
+// prediction fanned out over contiguous row shards with the same chunking
+// idiom the training engines use.
+package flat
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/tree"
+)
+
+// Node is one compiled tree node. Nodes are laid out in preorder: an
+// internal node's left child is the node immediately after it, so only the
+// right-child index is stored.
+type Node struct {
+	// Attr is the split attribute index, or -1 for a leaf.
+	Attr int32
+	// Class is the node's majority class; for leaves it is the prediction.
+	Class int32
+	// Right is the right child's index (left child is the next node).
+	Right int32
+	// SubsetOff and SubsetWords locate the categorical left-branch bitmask
+	// in the tree's shared Subsets pool. SubsetWords is 0 for continuous
+	// splits and leaves.
+	SubsetOff   int32
+	SubsetWords int32
+	// Threshold is the continuous split point: value < Threshold ⇒ left.
+	Threshold float64
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Attr < 0 }
+
+// Tree is a compiled decision tree: the node array, one shared pool of
+// categorical subset bitmask words, and the schema for class/attribute
+// names. A Tree is immutable after Compile and safe for concurrent use.
+type Tree struct {
+	Nodes   []Node
+	Subsets []uint64
+	Schema  *dataset.Schema
+}
+
+// Compile flattens a pointer tree into preorder array form. The resulting
+// predictor is equivalent to t.Predict on every tuple (the flat_test
+// property tests hold this as an invariant).
+func Compile(t *tree.Tree) (*Tree, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("flat: nil tree")
+	}
+	if t.Schema == nil {
+		return nil, fmt.Errorf("flat: tree has no schema")
+	}
+	ft := &Tree{Schema: t.Schema}
+	if err := ft.emit(t.Root); err != nil {
+		return nil, err
+	}
+	return ft, nil
+}
+
+// emit appends n's subtree in preorder and returns nil on success.
+func (ft *Tree) emit(n *tree.Node) error {
+	idx := len(ft.Nodes)
+	if idx > 1<<30 {
+		return fmt.Errorf("flat: tree too large")
+	}
+	if n.IsLeaf() {
+		ft.Nodes = append(ft.Nodes, Node{Attr: -1, Class: n.Class})
+		return nil
+	}
+	s := n.Split
+	if s.Attr < 0 || s.Attr >= len(ft.Schema.Attrs) {
+		return fmt.Errorf("flat: split attribute %d out of schema range", s.Attr)
+	}
+	if ft.Schema.Attrs[s.Attr].Kind != s.Kind {
+		return fmt.Errorf("flat: split kind mismatch on attribute %q", ft.Schema.Attrs[s.Attr].Name)
+	}
+	fn := Node{Attr: int32(s.Attr), Class: n.Class}
+	if s.Kind == dataset.Continuous {
+		fn.Threshold = s.Threshold
+	} else {
+		words := subsetWords(s)
+		if len(words) == 0 {
+			return fmt.Errorf("flat: categorical split on %q has no subset", ft.Schema.Attrs[s.Attr].Name)
+		}
+		fn.SubsetOff = int32(len(ft.Subsets))
+		fn.SubsetWords = int32(len(words))
+		ft.Subsets = append(ft.Subsets, words...)
+	}
+	ft.Nodes = append(ft.Nodes, fn)
+	if err := ft.emit(n.Left); err != nil {
+		return err
+	}
+	ft.Nodes[idx].Right = int32(len(ft.Nodes))
+	return ft.emit(n.Right)
+}
+
+// subsetWords rebuilds the candidate's left-branch subset as bitmask words
+// sized to the attribute's full category domain.
+func subsetWords(s *split.Candidate) []uint64 {
+	card := s.Subset.Card()
+	if card <= 0 {
+		return nil
+	}
+	words := make([]uint64, (card+63)/64)
+	for c := int32(0); int(c) < card; c++ {
+		if s.Subset.Has(c) {
+			words[c/64] |= 1 << uint(c%64)
+		}
+	}
+	return words
+}

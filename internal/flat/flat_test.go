@@ -1,0 +1,205 @@
+package flat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/synth"
+	"repro/internal/tree"
+)
+
+// grow builds a pointer tree over fn's synthetic data.
+func grow(t *testing.T, fn, tuples, maxDepth int) (*tree.Tree, *dataset.Table) {
+	t.Helper()
+	tbl, err := synth.Generate(synth.Config{
+		Function: fn, Tuples: tuples, Seed: 7, Perturbation: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := core.Build(tbl, core.Config{MaxDepth: maxDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tbl
+}
+
+// randomTuple draws a tuple over the schema's domains: continuous values
+// from a wide normal (plus occasional copies of a training value so deep
+// paths are reached), categorical codes uniform over the category domain.
+func randomTuple(rng *rand.Rand, s *dataset.Schema, tbl *dataset.Table) dataset.Tuple {
+	tu := dataset.Tuple{
+		Cont: make([]float64, len(s.Attrs)),
+		Cat:  make([]int32, len(s.Attrs)),
+	}
+	src := -1
+	if tbl.NumTuples() > 0 && rng.Intn(2) == 0 {
+		src = rng.Intn(tbl.NumTuples())
+	}
+	for a := range s.Attrs {
+		if s.Attrs[a].Kind == dataset.Continuous {
+			if src >= 0 {
+				tu.Cont[a] = tbl.ContValue(a, src)
+			} else {
+				tu.Cont[a] = rng.NormFloat64() * 1e5
+			}
+		} else {
+			tu.Cat[a] = int32(rng.Intn(len(s.Attrs[a].Categories)))
+		}
+	}
+	return tu
+}
+
+// TestFlatEquivalenceProperty is the subsystem's core invariant: for trees
+// grown from F1 (simple, continuous-only splits) and F7 (complex, mixes
+// categorical splits) the compiled predictor agrees with the pointer tree
+// on random tuples.
+func TestFlatEquivalenceProperty(t *testing.T) {
+	for _, fn := range []int{1, 7} {
+		tr, tbl := grow(t, fn, 4000, 0)
+		ft, err := Compile(tr)
+		if err != nil {
+			t.Fatalf("F%d: %v", fn, err)
+		}
+		rng := rand.New(rand.NewSource(int64(fn)))
+		prop := func(seed int64) bool {
+			tu := randomTuple(rand.New(rand.NewSource(seed)), tr.Schema, tbl)
+			return ft.Predict(tu) == tr.Predict(tu)
+		}
+		cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Fatalf("F%d: flat and pointer predictions diverge: %v", fn, err)
+		}
+	}
+}
+
+// TestFlatEquivalenceOnTrainingData checks agreement on every training
+// tuple, which exercises every reachable leaf.
+func TestFlatEquivalenceOnTrainingData(t *testing.T) {
+	tr, tbl := grow(t, 7, 4000, 0)
+	ft, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.NumTuples(); i++ {
+		tu := tbl.Row(i)
+		if got, want := ft.Predict(tu), tr.Predict(tu); got != want {
+			t.Fatalf("row %d: flat %d, pointer %d", i, got, want)
+		}
+	}
+}
+
+// TestMarshalCompileRoundTrip writes the tree as model JSON, reads it back,
+// compiles the reloaded tree, and checks all three predictors agree.
+func TestMarshalCompileRoundTrip(t *testing.T) {
+	tr, tbl := grow(t, 7, 3000, 8)
+	ft, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tree.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft2, err := Compile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft2.Nodes) != len(ft.Nodes) {
+		t.Fatalf("round trip changed node count: %d vs %d", len(ft2.Nodes), len(ft.Nodes))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		tu := randomTuple(rng, tr.Schema, tbl)
+		a, b, c := tr.Predict(tu), ft.Predict(tu), ft2.Predict(tu)
+		if a != b || b != c {
+			t.Fatalf("tuple %d: pointer %d, flat %d, reloaded flat %d", i, a, b, c)
+		}
+	}
+}
+
+// TestPreorderLayout checks the compiled array's structural invariants:
+// preorder adjacency (left child = i+1), forward right links, leaves
+// carrying no split payload, and one node per pointer-tree node.
+func TestPreorderLayout(t *testing.T) {
+	tr, _ := grow(t, 7, 2000, 0)
+	ft, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tr.Stats().Nodes; len(ft.Nodes) != want {
+		t.Fatalf("node count %d, pointer tree has %d", len(ft.Nodes), want)
+	}
+	for i := range ft.Nodes {
+		n := &ft.Nodes[i]
+		if n.IsLeaf() {
+			if n.SubsetWords != 0 || n.Right != 0 {
+				t.Fatalf("leaf %d carries split payload: %+v", i, n)
+			}
+			continue
+		}
+		if int(n.Right) <= i+1 || int(n.Right) >= len(ft.Nodes) {
+			t.Fatalf("node %d: right link %d out of preorder range", i, n.Right)
+		}
+		if n.SubsetWords > 0 {
+			if int(n.SubsetOff)+int(n.SubsetWords) > len(ft.Subsets) {
+				t.Fatalf("node %d: subset slice out of pool bounds", i)
+			}
+			if ft.Schema.Attrs[n.Attr].Kind != dataset.Categorical {
+				t.Fatalf("node %d: subset on continuous attribute", i)
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesSerial checks the sharded fan-out path returns the
+// same classes as serial prediction for both serial and parallel settings.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	tr, tbl := grow(t, 7, 3000, 0)
+	ft, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tus := make([]dataset.Tuple, tbl.NumTuples())
+	for i := range tus {
+		tus[i] = tbl.Row(i)
+	}
+	want := make([]int32, len(tus))
+	for i := range tus {
+		want[i] = ft.Predict(tus[i])
+	}
+	for _, procs := range []int{0, 1, 2, 4, 9} {
+		got := ft.PredictBatch(tus, procs)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("procs=%d row %d: got %d want %d", procs, i, got[i], want[i])
+			}
+		}
+	}
+	if got := ft.PredictBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestCompileRejectsBadTrees covers the validation paths.
+func TestCompileRejectsBadTrees(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := Compile(&tree.Tree{}); err == nil {
+		t.Fatal("rootless tree accepted")
+	}
+	tr, _ := grow(t, 1, 500, 4)
+	tr.Schema = nil
+	if _, err := Compile(tr); err == nil {
+		t.Fatal("schemaless tree accepted")
+	}
+}

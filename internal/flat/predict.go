@@ -1,0 +1,81 @@
+package flat
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Predict classifies one decoded tuple, returning the class code. It is
+// the flat-array counterpart of tree.Predict: a tight loop over int32
+// indices with no pointer chasing, branching on a threshold compare for
+// continuous splits and a bitmask probe for categorical ones. Category
+// codes outside the subset's domain fall to the right branch, matching
+// split.CatSet.Has.
+func (t *Tree) Predict(tu dataset.Tuple) int32 {
+	nodes := t.Nodes
+	i := int32(0)
+	for {
+		n := &nodes[i]
+		if n.Attr < 0 {
+			return n.Class
+		}
+		var left bool
+		if n.SubsetWords == 0 {
+			left = tu.Cont[n.Attr] < n.Threshold
+		} else {
+			c := tu.Cat[n.Attr]
+			w := c / 64
+			left = c >= 0 && w < n.SubsetWords &&
+				t.Subsets[n.SubsetOff+w]&(1<<uint(c%64)) != 0
+		}
+		if left {
+			i++ // preorder: left child is adjacent
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// PredictBatch classifies tuples with up to procs worker goroutines, each
+// owning one contiguous shard of rows (the training engines' chunking
+// idiom). procs <= 1, or batches too small to be worth the fan-out, run
+// serially on the caller's goroutine.
+func (t *Tree) PredictBatch(tus []dataset.Tuple, procs int) []int32 {
+	out := make([]int32, len(tus))
+	t.PredictBatchInto(tus, out, procs)
+	return out
+}
+
+// minShard is the smallest per-worker shard worth a goroutine; below it the
+// spawn/join overhead dwarfs the tree walks.
+const minShard = 256
+
+// PredictBatchInto is PredictBatch writing into a caller-owned slice
+// (len(out) must be >= len(tus)).
+func (t *Tree) PredictBatchInto(tus []dataset.Tuple, out []int32, procs int) {
+	n := len(tus)
+	if procs > n/minShard {
+		procs = n / minShard
+	}
+	if procs <= 1 {
+		t.predictRange(tus, out, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		lo, hi := w*n/procs, (w+1)*n/procs
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.predictRange(tus, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (t *Tree) predictRange(tus []dataset.Tuple, out []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = t.Predict(tus[i])
+	}
+}

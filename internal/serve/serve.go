@@ -1,0 +1,376 @@
+// Package serve is the model-serving subsystem: a stdlib-only net/http
+// server over a registry of trained parclass models. The request path is
+// the FastFlow farm shape the training engines already use — accept,
+// decode, fan a batch out over worker shards (Model.PredictBatch), reduce
+// — and models are hot-swappable: POST /models/{name} parses and compiles
+// the replacement off to the side, then publishes it with one atomic
+// pointer store, so in-flight requests finish on the model they started
+// with and no request is ever dropped during a swap.
+//
+// Routes:
+//
+//	POST /predict          classify one row or a batch of rows
+//	GET  /healthz          liveness + model count
+//	GET  /metrics          request counts, latency/batch histograms
+//	GET  /models           list registered models
+//	GET  /model/{name}     stats, schema, optional rules (?rules=1)
+//	POST /models/{name}    load/replace a model from model JSON
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	parclass "repro"
+	"repro/internal/dataset"
+)
+
+// DefaultModelName is the registry name used when a request names no model.
+const DefaultModelName = "default"
+
+// maxModelBytes bounds a POST /models/{name} body.
+const maxModelBytes = 256 << 20
+
+// loadedModel is one immutable published model version.
+type loadedModel struct {
+	model    *parclass.Model
+	loadedAt time.Time
+	source   string
+}
+
+// slot is a registry entry: the atomically swappable current version plus
+// per-model counters that survive swaps.
+type slot struct {
+	ptr         atomic.Pointer[loadedModel]
+	predictions atomic.Int64
+	swaps       atomic.Int64
+}
+
+// Server serves predictions over a registry of named models. Create with
+// New, register models with Load, and mount Handler.
+type Server struct {
+	defaultModel string
+	mu           sync.RWMutex // guards the name→slot map, not the models
+	models       map[string]*slot
+	met          *metrics
+}
+
+// New creates an empty server. defaultModel is the name resolved when a
+// predict request omits "model" ("" means DefaultModelName).
+func New(defaultModel string) *Server {
+	if defaultModel == "" {
+		defaultModel = DefaultModelName
+	}
+	return &Server{
+		defaultModel: defaultModel,
+		models:       make(map[string]*slot),
+		met:          newMetrics(),
+	}
+}
+
+// Load registers (or hot-swaps) a model under name and reports whether an
+// earlier version was replaced. The model is compiled before publication
+// so no request pays the flat-tree build.
+func (s *Server) Load(name string, m *parclass.Model, source string) (swapped bool, err error) {
+	if name == "" {
+		name = s.defaultModel
+	}
+	if err := m.Compile(); err != nil {
+		return false, err
+	}
+	sl := s.slot(name, true)
+	old := sl.ptr.Swap(&loadedModel{model: m, loadedAt: time.Now(), source: source})
+	sl.swaps.Add(1)
+	return old != nil, nil
+}
+
+// slot returns name's registry entry, creating it when create is set.
+func (s *Server) slot(name string, create bool) *slot {
+	s.mu.RLock()
+	sl := s.models[name]
+	s.mu.RUnlock()
+	if sl != nil || !create {
+		return sl
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sl = s.models[name]; sl == nil {
+		sl = &slot{}
+		s.models[name] = sl
+	}
+	return sl
+}
+
+// current returns the published version of name's model, or nil.
+func (s *Server) current(name string) (*slot, *loadedModel) {
+	sl := s.slot(name, false)
+	if sl == nil {
+		return nil, nil
+	}
+	return sl, sl.ptr.Load()
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /models", s.handleList)
+	mux.HandleFunc("GET /model/{name}", s.handleModelInfo)
+	mux.HandleFunc("POST /models/{name}", s.handleModelSwap)
+	return mux
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders an error body and bumps the route's error counter.
+func writeErr(w http.ResponseWriter, rs *routeStats, code int, format string, args ...any) {
+	rs.errors.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// predictRequest is the POST /predict body: exactly one of Row (single)
+// or Rows (batch), plus an optional model name.
+type predictRequest struct {
+	Model string              `json:"model,omitempty"`
+	Row   map[string]string   `json:"row,omitempty"`
+	Rows  []map[string]string `json:"rows,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string   `json:"model"`
+	Prediction  string   `json:"prediction,omitempty"`
+	Predictions []string `json:"predictions,omitempty"`
+	Rows        int      `json:"rows"`
+	ElapsedUS   int64    `json:"elapsed_us"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rs := &s.met.predict
+	rs.requests.Add(1)
+	start := time.Now()
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxModelBytes)).Decode(&req); err != nil {
+		writeErr(w, rs, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if (req.Row == nil) == (len(req.Rows) == 0) {
+		writeErr(w, rs, http.StatusBadRequest, `need exactly one of "row" and "rows"`)
+		return
+	}
+	name := req.Model
+	if name == "" {
+		name = s.defaultModel
+	}
+	sl, cur := s.current(name)
+	if cur == nil {
+		writeErr(w, rs, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	resp := predictResponse{Model: name}
+	if req.Row != nil {
+		pred, err := cur.model.Predict(req.Row)
+		if err != nil {
+			writeErr(w, rs, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Prediction = pred
+		resp.Rows = 1
+	} else {
+		preds, err := cur.model.PredictBatch(req.Rows)
+		if err != nil {
+			writeErr(w, rs, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Predictions = preds
+		resp.Rows = len(preds)
+	}
+	sl.predictions.Add(int64(resp.Rows))
+	s.met.predictions.Add(int64(resp.Rows))
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	s.met.latencyUS.observe(resp.ElapsedUS)
+	s.met.batchRows.observe(int64(resp.Rows))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.health.requests.Add(1)
+	s.mu.RLock()
+	n := len(s.models)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         n,
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	})
+}
+
+// metricsSnapshot is the GET /metrics document.
+type metricsSnapshot struct {
+	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Requests         map[string]routeSnapshot `json:"requests"`
+	PredictionsTotal int64                    `json:"predictions_total"`
+	PredictLatencyUS histogramSnapshot        `json:"predict_latency_us"`
+	PredictBatchRows histogramSnapshot        `json:"predict_batch_rows"`
+	Models           map[string]modelCounters `json:"models"`
+}
+
+type modelCounters struct {
+	Predictions int64     `json:"predictions"`
+	Swaps       int64     `json:"swaps"`
+	LoadedAt    time.Time `json:"loaded_at"`
+	Source      string    `json:"source,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.stats.requests.Add(1)
+	snap := metricsSnapshot{
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Requests: map[string]routeSnapshot{
+			"predict":    s.met.predict.snapshot(),
+			"model_swap": s.met.swap.snapshot(),
+			"model_info": s.met.info.snapshot(),
+			"models":     s.met.list.snapshot(),
+			"healthz":    s.met.health.snapshot(),
+			"metrics":    s.met.stats.snapshot(),
+		},
+		PredictionsTotal: s.met.predictions.Load(),
+		PredictLatencyUS: s.met.latencyUS.snapshot(),
+		PredictBatchRows: s.met.batchRows.snapshot(),
+		Models:           make(map[string]modelCounters),
+	}
+	s.mu.RLock()
+	for name, sl := range s.models {
+		mc := modelCounters{
+			Predictions: sl.predictions.Load(),
+			Swaps:       sl.swaps.Load(),
+		}
+		if cur := sl.ptr.Load(); cur != nil {
+			mc.LoadedAt = cur.loadedAt
+			mc.Source = cur.source
+		}
+		snap.Models[name] = mc
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.met.list.requests.Add(1)
+	type entry struct {
+		Name        string    `json:"name"`
+		LoadedAt    time.Time `json:"loaded_at"`
+		Source      string    `json:"source,omitempty"`
+		Predictions int64     `json:"predictions"`
+		Swaps       int64     `json:"swaps"`
+	}
+	var out []entry
+	s.mu.RLock()
+	for name, sl := range s.models {
+		cur := sl.ptr.Load()
+		if cur == nil {
+			continue
+		}
+		out = append(out, entry{
+			Name: name, LoadedAt: cur.loadedAt, Source: cur.source,
+			Predictions: sl.predictions.Load(), Swaps: sl.swaps.Load(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+// attrInfo is the schema exposure cmd/loadgen uses to synthesize rows.
+type attrInfo struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+// ModelInfo is the GET /model/{name} document.
+type ModelInfo struct {
+	Name        string    `json:"name"`
+	LoadedAt    time.Time `json:"loaded_at"`
+	Source      string    `json:"source,omitempty"`
+	Predictions int64     `json:"predictions"`
+	Swaps       int64     `json:"swaps"`
+	Stats       struct {
+		Nodes             int `json:"nodes"`
+		Leaves            int `json:"leaves"`
+		Levels            int `json:"levels"`
+		MaxLeavesPerLevel int `json:"max_leaves_per_level"`
+	} `json:"stats"`
+	Classes []string   `json:"classes"`
+	Attrs   []attrInfo `json:"attrs"`
+	Rules   []string   `json:"rules,omitempty"`
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	rs := &s.met.info
+	rs.requests.Add(1)
+	name := r.PathValue("name")
+	sl, cur := s.current(name)
+	if cur == nil {
+		writeErr(w, rs, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	info := ModelInfo{
+		Name: name, LoadedAt: cur.loadedAt, Source: cur.source,
+		Predictions: sl.predictions.Load(), Swaps: sl.swaps.Load(),
+	}
+	st := cur.model.Stats()
+	info.Stats.Nodes = st.Nodes
+	info.Stats.Leaves = st.Leaves
+	info.Stats.Levels = st.Levels
+	info.Stats.MaxLeavesPerLevel = st.MaxLeavesPerLevel
+	schema := cur.model.Tree().Schema
+	info.Classes = append(info.Classes, schema.Classes...)
+	for i := range schema.Attrs {
+		a := &schema.Attrs[i]
+		kind := "continuous"
+		if a.Kind == dataset.Categorical {
+			kind = "categorical"
+		}
+		info.Attrs = append(info.Attrs, attrInfo{Name: a.Name, Kind: kind, Categories: a.Categories})
+	}
+	if r.URL.Query().Get("rules") == "1" {
+		info.Rules = cur.model.Rules()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleModelSwap(w http.ResponseWriter, r *http.Request) {
+	rs := &s.met.swap
+	rs.requests.Add(1)
+	name := r.PathValue("name")
+	m, err := parclass.ReadModel(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	if err != nil {
+		writeErr(w, rs, http.StatusBadRequest, "loading model: %v", err)
+		return
+	}
+	swapped, err := s.Load(name, m, "upload from "+r.RemoteAddr)
+	if err != nil {
+		writeErr(w, rs, http.StatusBadRequest, "compiling model: %v", err)
+		return
+	}
+	st := m.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    name,
+		"swapped": swapped,
+		"nodes":   st.Nodes,
+		"leaves":  st.Leaves,
+		"levels":  st.Levels,
+	})
+}

@@ -23,12 +23,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flat"
 	"repro/internal/probe"
 	"repro/internal/prune"
 	"repro/internal/sliq"
@@ -303,11 +306,40 @@ type TreeStats struct {
 	MaxLeavesPerLevel int
 }
 
-// Model is a trained decision-tree classifier.
+// Model is a trained decision-tree classifier. A Model is immutable once
+// returned by Train or LoadModel and safe for concurrent use by multiple
+// goroutines.
 type Model struct {
 	tree    *tree.Tree
 	timings Timings
 	pruned  int
+	// catCodes[a] maps category name → code for categorical attribute a
+	// (nil for continuous), built once so row decoding is a map lookup
+	// instead of a linear scan over attr.Categories.
+	catCodes []map[string]int32
+	// compiled is the flat-array predictor, built lazily by Compile.
+	compileOnce sync.Once
+	compiled    *flat.Tree
+	compileErr  error
+}
+
+// newModel wraps a tree, precomputing the categorical decode index.
+func newModel(tr *tree.Tree) *Model {
+	m := &Model{tree: tr}
+	s := tr.Schema
+	m.catCodes = make([]map[string]int32, len(s.Attrs))
+	for a := range s.Attrs {
+		attr := &s.Attrs[a]
+		if attr.Kind != dataset.Categorical {
+			continue
+		}
+		codes := make(map[string]int32, len(attr.Categories))
+		for c, name := range attr.Categories {
+			codes[name] = int32(c)
+		}
+		m.catCodes[a] = codes
+	}
+	return m
 }
 
 // Train grows (and optionally prunes) a decision tree over the dataset.
@@ -336,10 +368,8 @@ func TrainContext(ctx context.Context, ds *Dataset, opt Options) (*Model, error)
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{
-		tree:    tr,
-		timings: Timings{Setup: tm.Setup, Sort: tm.Sort, Build: tm.Build},
-	}
+	m := newModel(tr)
+	m.timings = Timings{Setup: tm.Setup, Sort: tm.Sort, Build: tm.Build}
 	if opt.PartialPrune {
 		res := prune.MDLPartial(tr)
 		m.pruned = res.Pruned
@@ -378,33 +408,37 @@ func (m *Model) decodeRow(row map[string]string) (dataset.Tuple, error) {
 		Cont: make([]float64, len(s.Attrs)),
 		Cat:  make([]int32, len(s.Attrs)),
 	}
+	return tu, m.decodeRowInto(row, tu)
+}
+
+// decodeRowInto decodes row into the caller-provided tuple buffers,
+// resolving categorical values through the precomputed catCodes index.
+func (m *Model) decodeRowInto(row map[string]string, tu dataset.Tuple) error {
+	s := m.tree.Schema
 	for a := range s.Attrs {
 		attr := &s.Attrs[a]
 		raw, ok := row[attr.Name]
 		if !ok {
-			return tu, fmt.Errorf("parclass: missing attribute %q", attr.Name)
+			return fmt.Errorf("parclass: missing attribute %q", attr.Name)
 		}
 		if attr.Kind == dataset.Continuous {
-			v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+			v, err := strconv.ParseFloat(raw, 64)
 			if err != nil {
-				return tu, fmt.Errorf("parclass: attribute %q: %w", attr.Name, err)
+				// Slow path: tolerate surrounding whitespace.
+				if v, err = strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
+					return fmt.Errorf("parclass: attribute %q: %w", attr.Name, err)
+				}
 			}
 			tu.Cont[a] = v
 		} else {
-			code := -1
-			for c, name := range attr.Categories {
-				if name == raw {
-					code = c
-					break
-				}
+			code, ok := m.catCodes[a][raw]
+			if !ok {
+				return fmt.Errorf("parclass: attribute %q: unknown category %q", attr.Name, raw)
 			}
-			if code < 0 {
-				return tu, fmt.Errorf("parclass: attribute %q: unknown category %q", attr.Name, raw)
-			}
-			tu.Cat[a] = int32(code)
+			tu.Cat[a] = code
 		}
 	}
-	return tu, nil
+	return nil
 }
 
 // Predict classifies a single example given as attribute-name → value
@@ -417,6 +451,84 @@ func (m *Model) Predict(row map[string]string) (string, error) {
 	}
 	return m.tree.Schema.Classes[m.tree.Predict(tu)], nil
 }
+
+// Compile builds (once, lazily) the flat-array predictor that backs
+// PredictBatch: the tree linearized into a preorder node array with
+// bitmask categorical tests, trading a one-time compile for pointer-free
+// tree walks. Calling it eagerly after Train or LoadModel moves that cost
+// off the first request; PredictBatch compiles on demand otherwise. Safe
+// for concurrent use.
+func (m *Model) Compile() error {
+	m.compileOnce.Do(func() {
+		m.compiled, m.compileErr = flat.Compile(m.tree)
+	})
+	return m.compileErr
+}
+
+// PredictBatch classifies many examples at once, fanning decode + compiled
+// tree walks out over contiguous row shards (one goroutine per GOMAXPROCS
+// processor for large batches). It returns one predicted class name per
+// row, in order; a malformed row fails the whole batch with an error naming
+// the row index.
+func (m *Model) PredictBatch(rows []map[string]string) ([]string, error) {
+	if err := m.Compile(); err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	if n == 0 {
+		return nil, nil
+	}
+	nAttrs := len(m.tree.Schema.Attrs)
+	// One backing array per column kind amortizes the per-row slice
+	// allocations Predict pays.
+	contBuf := make([]float64, n*nAttrs)
+	catBuf := make([]int32, n*nAttrs)
+	codes := make([]int32, n)
+
+	procs := runtime.GOMAXPROCS(0)
+	if procs > n/batchShardMin {
+		procs = n / batchShardMin
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		lo, hi := w*n/procs, (w+1)*n/procs
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				tu := dataset.Tuple{
+					Cont: contBuf[i*nAttrs : (i+1)*nAttrs],
+					Cat:  catBuf[i*nAttrs : (i+1)*nAttrs],
+				}
+				if err := m.decodeRowInto(rows[i], tu); err != nil {
+					errs[w] = fmt.Errorf("row %d: %w", i, err)
+					return
+				}
+				codes[i] = m.compiled.Predict(tu)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, n)
+	classes := m.tree.Schema.Classes
+	for i, c := range codes {
+		out[i] = classes[c]
+	}
+	return out, nil
+}
+
+// batchShardMin is the smallest per-goroutine shard PredictBatch will fan
+// out; smaller batches decode and predict on the caller's goroutine.
+const batchShardMin = 64
 
 // String renders the tree as an indented outline.
 func (m *Model) String() string { return m.tree.String() }

@@ -1,0 +1,115 @@
+package parclass
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// datasetRows re-encodes the first n tuples of ds as name→string rows, the
+// wire form Predict and PredictBatch accept.
+func datasetRows(ds *Dataset, n int) []map[string]string {
+	if n > ds.NumRows() {
+		n = ds.NumRows()
+	}
+	s := ds.tbl.Schema()
+	rows := make([]map[string]string, n)
+	for i := 0; i < n; i++ {
+		row := make(map[string]string, len(s.Attrs))
+		for a := range s.Attrs {
+			if s.Attrs[a].Kind == dataset.Continuous {
+				row[s.Attrs[a].Name] = strconv.FormatFloat(ds.tbl.ContValue(a, i), 'g', -1, 64)
+			} else {
+				row[s.Attrs[a].Name] = s.Attrs[a].Categories[ds.tbl.CatValue(a, i)]
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestPredictBatchMatchesPredict: the batch path (compiled flat tree,
+// sharded fan-out, amortized decode) must agree with per-row Predict.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	ds := synthDS(t, 7, 3000)
+	m, err := Train(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := datasetRows(ds, 1000)
+	got, err := m.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d predictions for %d rows", len(got), len(rows))
+	}
+	for i, row := range rows {
+		want, err := m.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("row %d: batch %q, single %q", i, got[i], want)
+		}
+	}
+}
+
+func TestPredictBatchErrors(t *testing.T) {
+	ds := synthDS(t, 1, 1000)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := datasetRows(ds, 10)
+	rows[7]["car"] = "spaceship"
+	if _, err := m.PredictBatch(rows); err == nil {
+		t.Fatal("unknown category accepted")
+	} else if !strings.Contains(err.Error(), "row 7") {
+		t.Fatalf("error %q does not name the failing row", err)
+	}
+	if out, err := m.PredictBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+// TestCompileIdempotentAndLoadedModelsBatch: Compile is a one-time lazy
+// build, and models reloaded from disk (which skip Train's construction
+// path) batch-predict identically.
+func TestCompileIdempotentAndLoadedModelsBatch(t *testing.T) {
+	ds := synthDS(t, 7, 2000)
+	m, err := Train(ds, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := m.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := datasetRows(ds, 300)
+	want, err := m.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: reloaded model %q, original %q", i, got[i], want[i])
+		}
+	}
+}
