@@ -1,13 +1,13 @@
 # Developer entry points. `make verify` is the tier-1 gate: it builds and
-# vets everything, runs the full test suite, and race-checks the concurrent
-# packages (the model server, the flat batch predictor, and the training
-# engines).
+# vets everything, checks formatting, runs the full test suite, and
+# race-checks the concurrent packages (the public API, the model server,
+# the flat batch predictor, and the training engines).
 
 GO ?= go
 
-.PHONY: verify build vet test race bench serve-bench
+.PHONY: verify build vet fmt-check test race bench gobench serve-bench
 
-verify: build vet test race
+verify: build vet fmt-check test race
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/flat/... ./internal/core/...
+	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/...
 
+# The build-phase observability sweep: real instrumented builds over the
+# paper's F1/F7 pair, written to the checked-in BENCH_build.json.
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_build.json
+
+# Go micro-benchmarks for the root package (predict paths etc).
+gobench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # The serving hot-path trio: pointer loop vs flat walk vs sharded batch.

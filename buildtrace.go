@@ -1,0 +1,251 @@
+package parclass
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// PhaseBreakdown is the time one worker (or an aggregate of workers) spent
+// in each build phase, in seconds, with the work-unit counts that produced
+// it. The phases are the paper's E (split evaluation), W (winner selection
+// and probe construction) and S (attribute-list splitting), plus the two
+// waiting states the parallel schemes introduce: barrier stalls and idle
+// time (MWK window waits, SUBTREE free-queue sleeps).
+type PhaseBreakdown struct {
+	Eval    float64 `json:"eval_seconds"`
+	Winner  float64 `json:"winner_seconds"`
+	Split   float64 `json:"split_seconds"`
+	Barrier float64 `json:"barrier_seconds"`
+	Idle    float64 `json:"idle_seconds"`
+
+	EvalUnits   int64 `json:"eval_units"`
+	WinnerUnits int64 `json:"winner_units"`
+	SplitUnits  int64 `json:"split_units"`
+}
+
+// Busy returns the productive time: E + W + S.
+func (p PhaseBreakdown) Busy() float64 { return p.Eval + p.Winner + p.Split }
+
+// Waiting returns the unproductive time: barrier + idle.
+func (p PhaseBreakdown) Waiting() float64 { return p.Barrier + p.Idle }
+
+// Total returns busy + waiting.
+func (p PhaseBreakdown) Total() float64 { return p.Busy() + p.Waiting() }
+
+func (p *PhaseBreakdown) add(q PhaseBreakdown) {
+	p.Eval += q.Eval
+	p.Winner += q.Winner
+	p.Split += q.Split
+	p.Barrier += q.Barrier
+	p.Idle += q.Idle
+	p.EvalUnits += q.EvalUnits
+	p.WinnerUnits += q.WinnerUnits
+	p.SplitUnits += q.SplitUnits
+}
+
+// WorkerTrace is one worker's per-level breakdown; Levels[d] covers tree
+// depth d.
+type WorkerTrace struct {
+	Levels []PhaseBreakdown `json:"levels"`
+}
+
+// Total aggregates the worker's levels.
+func (w WorkerTrace) Total() PhaseBreakdown {
+	var out PhaseBreakdown
+	for _, lv := range w.Levels {
+		out.add(lv)
+	}
+	return out
+}
+
+// BuildTrace is the build-phase observability record of a training run:
+// per worker, per tree level, where the wall clock went. It reproduces the
+// paper's per-processor E/W/S breakdown tables and derives the two numbers
+// the paper reads off them — load skew and parallel efficiency.
+type BuildTrace struct {
+	// Algorithm is the scheme that ran.
+	Algorithm Algorithm `json:"algorithm"`
+	// Procs is the worker count the build ran with.
+	Procs int `json:"procs"`
+	// BuildSeconds is the measured tree-growth wall clock (Timings.Build).
+	BuildSeconds float64 `json:"build_seconds"`
+	// Workers holds one trace per worker, index = worker id.
+	Workers []WorkerTrace `json:"workers"`
+}
+
+// WorkerTotals returns each worker's all-level aggregate.
+func (b *BuildTrace) WorkerTotals() []PhaseBreakdown {
+	out := make([]PhaseBreakdown, len(b.Workers))
+	for i, w := range b.Workers {
+		out[i] = w.Total()
+	}
+	return out
+}
+
+// LevelTotals returns per-level aggregates summed over workers.
+func (b *BuildTrace) LevelTotals() []PhaseBreakdown {
+	var out []PhaseBreakdown
+	for _, w := range b.Workers {
+		for d, lv := range w.Levels {
+			for d >= len(out) {
+				out = append(out, PhaseBreakdown{})
+			}
+			out[d].add(lv)
+		}
+	}
+	return out
+}
+
+// Totals returns the whole build's aggregate across workers and levels.
+func (b *BuildTrace) Totals() PhaseBreakdown {
+	var out PhaseBreakdown
+	for _, w := range b.Workers {
+		out.add(w.Total())
+	}
+	return out
+}
+
+// Skew measures load imbalance as max/mean of the workers' busy (E+W+S)
+// times: 1.0 is perfect balance, P is one worker doing everything. Returns
+// 0 when nothing was recorded.
+func (b *BuildTrace) Skew() float64 {
+	tot := b.WorkerTotals()
+	var sum, max float64
+	for _, w := range tot {
+		busy := w.Busy()
+		sum += busy
+		if busy > max {
+			max = busy
+		}
+	}
+	if sum == 0 || len(tot) == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(tot)))
+}
+
+// Efficiency is parallel efficiency: the fraction of the P×wall processor
+// budget spent on productive E/W/S work. A serial build is ~1.0; barrier
+// stalls and idle waits pull it down.
+func (b *BuildTrace) Efficiency() float64 {
+	if b.BuildSeconds == 0 || b.Procs == 0 {
+		return 0
+	}
+	return b.Totals().Busy() / (float64(b.Procs) * b.BuildSeconds)
+}
+
+// Format renders the per-worker breakdown as a fixed-width table, one row
+// per worker plus a totals row — the shape of the paper's Table 2.
+func (b *BuildTrace) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s P=%d build=%.3fs skew=%.2f eff=%.2f\n",
+		b.Algorithm, b.Procs, b.BuildSeconds, b.Skew(), b.Efficiency())
+	fmt.Fprintf(&sb, "%-8s %10s %10s %10s %10s %10s %10s\n",
+		"worker", "E", "W", "S", "barrier", "idle", "busy")
+	row := func(name string, p PhaseBreakdown) {
+		fmt.Fprintf(&sb, "%-8s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			name, p.Eval, p.Winner, p.Split, p.Barrier, p.Idle, p.Busy())
+	}
+	for i, p := range b.WorkerTotals() {
+		row(fmt.Sprintf("p%d", i), p)
+	}
+	row("total", b.Totals())
+	return sb.String()
+}
+
+// breakdownFrom converts one internal per-level cell.
+func breakdownFrom(lv trace.BuildLevel) PhaseBreakdown {
+	return PhaseBreakdown{
+		Eval:        lv.Seconds[trace.PhaseEval],
+		Winner:      lv.Seconds[trace.PhaseWinner],
+		Split:       lv.Seconds[trace.PhaseSplit],
+		Barrier:     lv.Seconds[trace.PhaseBarrier],
+		Idle:        lv.Seconds[trace.PhaseIdle],
+		EvalUnits:   lv.Units[trace.PhaseEval],
+		WinnerUnits: lv.Units[trace.PhaseWinner],
+		SplitUnits:  lv.Units[trace.PhaseSplit],
+	}
+}
+
+// buildTraceFrom converts the internal recorder aggregate to the public
+// shape.
+func buildTraceFrom(alg Algorithm, procs int, wall time.Duration, b trace.Build) *BuildTrace {
+	bt := &BuildTrace{
+		Algorithm:    alg,
+		Procs:        procs,
+		BuildSeconds: wall.Seconds(),
+		Workers:      make([]WorkerTrace, len(b.Workers)),
+	}
+	for w, bw := range b.Workers {
+		bt.Workers[w].Levels = make([]PhaseBreakdown, len(bw.Levels))
+		for d, lv := range bw.Levels {
+			bt.Workers[w].Levels[d] = breakdownFrom(lv)
+		}
+	}
+	return bt
+}
+
+// BuildMonitor observes a training run live. Attach one via Options.Monitor,
+// hand it to a serving layer (parclassd exposes it on /metrics), and poll
+// Snapshot while Train runs: it reports the build state and the current
+// phase totals straight from the workers' recorder lanes. A monitor is
+// single-use — one training run per BuildMonitor.
+type BuildMonitor struct {
+	mu    sync.Mutex
+	state string // "pending" → "training" → "done" | "failed"
+	alg   Algorithm
+	procs int
+	rec   *trace.Recorder
+	start time.Time
+	final *BuildTrace
+}
+
+// NewBuildMonitor returns a monitor in the "pending" state.
+func NewBuildMonitor() *BuildMonitor { return &BuildMonitor{state: "pending"} }
+
+func (bm *BuildMonitor) begin(alg Algorithm, procs int, rec *trace.Recorder) {
+	bm.mu.Lock()
+	bm.state = "training"
+	bm.alg = alg
+	bm.procs = procs
+	bm.rec = rec
+	bm.start = time.Now()
+	bm.mu.Unlock()
+}
+
+func (bm *BuildMonitor) finish(bt *BuildTrace, err error) {
+	bm.mu.Lock()
+	if err != nil {
+		bm.state = "failed"
+	} else {
+		bm.state = "done"
+	}
+	bm.final = bt
+	bm.mu.Unlock()
+}
+
+// State returns "pending", "training", "done" or "failed".
+func (bm *BuildMonitor) State() string {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	return bm.state
+}
+
+// Snapshot returns the monitor state and the current trace: the finished
+// build's trace when done, or a live aggregate (BuildSeconds = elapsed so
+// far) while training. The trace is nil while pending.
+func (bm *BuildMonitor) Snapshot() (state string, bt *BuildTrace) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if bm.final != nil {
+		return bm.state, bm.final
+	}
+	if bm.rec == nil {
+		return bm.state, nil
+	}
+	return bm.state, buildTraceFrom(bm.alg, bm.procs, time.Since(bm.start), bm.rec.Snapshot())
+}

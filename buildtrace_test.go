@@ -1,0 +1,106 @@
+package parclass
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestModelBuildTrace(t *testing.T) {
+	ds := synthDS(t, 7, 1500)
+	for _, alg := range []Algorithm{Serial, Basic, FWK, MWK, Subtree, RecordParallel} {
+		t.Run(alg.String(), func(t *testing.T) {
+			m, err := Train(ds, Options{Algorithm: alg, Procs: 3, MaxDepth: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt := m.BuildTrace()
+			if bt == nil {
+				t.Fatal("BuildTrace() = nil")
+			}
+			if bt.Algorithm != alg {
+				t.Fatalf("trace algorithm %v, want %v", bt.Algorithm, alg)
+			}
+			tot := bt.Totals()
+			if tot.EvalUnits == 0 || tot.WinnerUnits == 0 || tot.SplitUnits == 0 {
+				t.Fatalf("phase units missing: %+v", tot)
+			}
+			if tot.Busy() <= 0 {
+				t.Fatal("no busy time recorded")
+			}
+			// The recorded busy+waiting time must roughly reconcile with
+			// the measured build wall × workers (loose bound: CI noise).
+			wall := m.Timings().Build.Seconds()
+			if wall > 0 {
+				budget := wall * float64(bt.Procs)
+				if tot.Total() > budget*1.15 {
+					t.Fatalf("recorded %.4fs exceeds processor budget %.4fs", tot.Total(), budget)
+				}
+			}
+			if s := bt.Skew(); s < 1.0-1e-9 {
+				t.Fatalf("skew %v < 1", s)
+			}
+			if eff := bt.Efficiency(); eff <= 0 || eff > 1.5 {
+				t.Fatalf("implausible efficiency %v", eff)
+			}
+			if !strings.Contains(bt.Format(), "worker") {
+				t.Fatal("Format() missing header")
+			}
+			if lt := bt.LevelTotals(); len(lt) == 0 {
+				t.Fatal("LevelTotals empty")
+			}
+		})
+	}
+}
+
+func TestBuildTraceNilForSLIQ(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{Algorithm: SLIQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BuildTrace() != nil {
+		t.Fatal("SLIQ model should have no build trace")
+	}
+}
+
+// TestBuildMonitorLive polls a monitor while MWK trains, checking the
+// pending → training → done transitions and that live snapshots are
+// readable mid-build.
+func TestBuildMonitorLive(t *testing.T) {
+	ds := synthDS(t, 7, 4000)
+	mon := NewBuildMonitor()
+	if st, bt := mon.Snapshot(); st != "pending" || bt != nil {
+		t.Fatalf("fresh monitor: state %q trace %v", st, bt)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Train(ds, Options{Algorithm: MWK, Procs: 3, Monitor: mon})
+		done <- err
+	}()
+	sawLive := false
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, bt := mon.Snapshot()
+			if st != "done" {
+				t.Fatalf("state after train = %q", st)
+			}
+			if bt == nil || bt.Totals().Busy() <= 0 {
+				t.Fatal("final trace missing")
+			}
+			if !sawLive {
+				t.Log("build finished before a live snapshot was observed (fast machine)")
+			}
+			return
+		default:
+			if st, bt := mon.Snapshot(); st == "training" && bt != nil {
+				sawLive = true
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package parclass
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTrainContextCancel proves TrainContext aborts promptly when its
+// context is cancelled mid-build, under the window (MWK) and task-parallel
+// (Subtree) schemes whose workers block on condition waits and queue
+// channels — the paths where a missed cancellation check would hang, which
+// is why the suite runs this under -race in make verify.
+func TestTrainContextCancel(t *testing.T) {
+	ds := synthDS(t, 7, 30000)
+	for _, alg := range []Algorithm{MWK, Subtree} {
+		t.Run(alg.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := TrainContext(ctx, ds, Options{Algorithm: alg, Procs: 4})
+				done <- err
+			}()
+			// Let the build get going, then pull the plug.
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					// The build may legitimately have finished before the
+					// cancel landed on a fast machine.
+					if err != nil {
+						t.Fatalf("error = %v, want context.Canceled or nil", err)
+					}
+					t.Log("build completed before cancellation")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("TrainContext did not return after cancel")
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+// Command benchjson runs the build-phase observability sweep: it trains
+// real trees (no simulation) over the paper's F1/F7 dataset pair for each
+// parallel scheme and processor count, and emits one machine-readable JSON
+// document with the measured per-phase (E/W/S/barrier/idle) breakdown,
+// per-worker busy seconds, skew, parallel efficiency and speedup over the
+// serial build. `make bench` runs it and checks the result in as
+// BENCH_build.json so phase-balance regressions show up in review diffs.
+//
+// Usage:
+//
+//	benchjson -datasets F1-A32-D20K,F7-A32-D20K -procs 1,2,4 -out BENCH_build.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	parclass "repro"
+	"repro/internal/bench"
+)
+
+// run is one (dataset, algorithm, procs) build measurement.
+type run struct {
+	Dataset      string  `json:"dataset"`
+	Algorithm    string  `json:"algorithm"`
+	Procs        int     `json:"procs"`
+	BuildSeconds float64 `json:"build_seconds"`
+	SetupSeconds float64 `json:"setup_seconds"`
+	SortSeconds  float64 `json:"sort_seconds"`
+	Nodes        int     `json:"nodes"`
+	Levels       int     `json:"levels"`
+
+	PhaseSeconds   map[string]float64 `json:"phase_seconds"`
+	WorkerBusySecs []float64          `json:"worker_busy_seconds"`
+	Skew           float64            `json:"skew"`
+	Efficiency     float64            `json:"efficiency"`
+	Speedup        float64            `json:"speedup_vs_serial"`
+}
+
+type report struct {
+	Tool     string   `json:"tool"`
+	GoOS     string   `json:"goos"`
+	GoArch   string   `json:"goarch"`
+	NumCPU   int      `json:"num_cpu"`
+	Seed     int64    `json:"seed"`
+	Warmup   bool     `json:"warmup"`
+	Datasets []string `json:"datasets"`
+	Runs     []run    `json:"runs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		datasets = flag.String("datasets", "F1-A32-D20K,F7-A32-D20K",
+			"comma-separated synthetic specs Fx-Ay-DzK")
+		procsList = flag.String("procs", "1,2,4", "comma-separated processor counts")
+		algs      = flag.String("algorithms", "basic,fwk,mwk,subtree",
+			"comma-separated parallel schemes (serial at P=1 always runs as the baseline)")
+		seed   = flag.Int64("seed", 1, "synthetic generator seed")
+		out    = flag.String("out", "", "write JSON here instead of stdout")
+		warmup = flag.Bool("warmup", true, "run one untimed serial build first to warm the heap")
+	)
+	flag.Parse()
+
+	procs, err := parseInts(*procsList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := report{
+		Tool:   "benchjson",
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Seed:   *seed,
+		Warmup: *warmup,
+	}
+
+	for _, spec := range splitList(*datasets) {
+		rep.Datasets = append(rep.Datasets, spec)
+		ds, err := loadDataset(spec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *warmup {
+			if _, err := parclass.Train(ds, parclass.Options{Algorithm: parclass.Serial}); err != nil {
+				log.Fatalf("%s warmup: %v", spec, err)
+			}
+		}
+		serial, err := measure(ds, spec, parclass.Serial, 1, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Runs = append(rep.Runs, serial)
+		log.Printf("%-14s serial  P=1 build=%.3fs", spec, serial.BuildSeconds)
+		for _, name := range splitList(*algs) {
+			alg, err := parseAlg(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range procs {
+				r, err := measure(ds, spec, alg, p, serial.BuildSeconds)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep.Runs = append(rep.Runs, r)
+				log.Printf("%-14s %-7s P=%d build=%.3fs speedup=%.2f skew=%.2f eff=%.0f%%",
+					spec, name, p, r.BuildSeconds, r.Speedup, r.Skew, 100*r.Efficiency)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d runs)", *out, len(rep.Runs))
+}
+
+// measure trains once and folds the model's BuildTrace into a run record.
+func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs int, serialBuild float64) (run, error) {
+	m, err := parclass.Train(ds, parclass.Options{Algorithm: alg, Procs: procs})
+	if err != nil {
+		return run{}, fmt.Errorf("%s/%s/P=%d: %w", spec, alg, procs, err)
+	}
+	tm := m.Timings()
+	st := m.Stats()
+	r := run{
+		Dataset:      spec,
+		Algorithm:    strings.ToLower(alg.String()),
+		Procs:        procs,
+		BuildSeconds: tm.Build.Seconds(),
+		SetupSeconds: tm.Setup.Seconds(),
+		SortSeconds:  tm.Sort.Seconds(),
+		Nodes:        st.Nodes,
+		Levels:       st.Levels,
+	}
+	if serialBuild > 0 && r.BuildSeconds > 0 {
+		r.Speedup = serialBuild / r.BuildSeconds
+	}
+	bt := m.BuildTrace()
+	if bt == nil {
+		return r, nil
+	}
+	tot := bt.Totals()
+	r.PhaseSeconds = map[string]float64{
+		"eval":    tot.Eval,
+		"winner":  tot.Winner,
+		"split":   tot.Split,
+		"barrier": tot.Barrier,
+		"idle":    tot.Idle,
+	}
+	for _, wt := range bt.WorkerTotals() {
+		r.WorkerBusySecs = append(r.WorkerBusySecs, wt.Busy())
+	}
+	r.Skew = bt.Skew()
+	r.Efficiency = bt.Efficiency()
+	return r, nil
+}
+
+func loadDataset(spec string, seed int64) (*parclass.Dataset, error) {
+	d, err := bench.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return parclass.Synthetic(parclass.SyntheticConfig{
+		Function: d.Function, Attrs: d.Attrs, Tuples: d.Tuples, Seed: seed,
+	})
+}
+
+func parseAlg(name string) (parclass.Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "serial":
+		return parclass.Serial, nil
+	case "basic":
+		return parclass.Basic, nil
+	case "fwk":
+		return parclass.FWK, nil
+	case "mwk":
+		return parclass.MWK, nil
+	case "subtree":
+		return parclass.Subtree, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad processor count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -40,9 +40,11 @@ type modelInfo struct {
 }
 
 type predictRequest struct {
-	Model string              `json:"model,omitempty"`
-	Rows  []map[string]string `json:"rows,omitempty"`
-	Row   map[string]string   `json:"row,omitempty"`
+	Model      string              `json:"model,omitempty"`
+	Rows       []map[string]string `json:"rows,omitempty"`
+	Row        map[string]string   `json:"row,omitempty"`
+	Values     []string            `json:"values,omitempty"`
+	ValuesRows [][]string          `json:"values_rows,omitempty"`
 }
 
 func main() {
@@ -56,6 +58,8 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "how long to run")
 		requests    = flag.Int("requests", 0, "stop after exactly this many requests (overrides -duration)")
 		seed        = flag.Int64("seed", 1, "row generator seed")
+		positional  = flag.Bool("positional", false,
+			"send positional values/values_rows instead of name→value maps (the server's fast path)")
 	)
 	flag.Parse()
 
@@ -94,9 +98,17 @@ func main() {
 					return
 				}
 				req := predictRequest{Model: *model}
-				if *batch <= 1 {
+				switch {
+				case *positional && *batch <= 1:
+					req.Values = randomValues(rng, &info)
+				case *positional:
+					req.ValuesRows = make([][]string, *batch)
+					for i := range req.ValuesRows {
+						req.ValuesRows[i] = randomValues(rng, &info)
+					}
+				case *batch <= 1:
 					req.Row = randomRow(rng, &info)
-				} else {
+				default:
 					req.Rows = make([]map[string]string, *batch)
 					for i := range req.Rows {
 						req.Rows[i] = randomRow(rng, &info)
@@ -157,6 +169,19 @@ func main() {
 		(sum / time.Duration(len(all))).Round(time.Microsecond),
 		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+}
+
+// randomValues synthesizes one positional row in schema attribute order.
+func randomValues(rng *rand.Rand, info *modelInfo) []string {
+	vals := make([]string, len(info.Attrs))
+	for i, a := range info.Attrs {
+		if a.Kind == "categorical" && len(a.Categories) > 0 {
+			vals[i] = a.Categories[rng.Intn(len(a.Categories))]
+		} else {
+			vals[i] = strconv.FormatFloat(rng.Float64()*200000, 'g', -1, 64)
+		}
+	}
+	return vals
 }
 
 // randomRow synthesizes one row the model's schema accepts.

@@ -8,9 +8,13 @@
 //	parclassd -synthetic F7-A32-D10K -algorithm mwk -procs 4
 //	parclassd -data train.csv -addr :9090
 //	parclassd -model m.json -name fraud
+//	parclassd -synthetic F7-A32-D1000K -algorithm mwk -procs 4 -background-train
 //
-// Routes: POST /predict, GET /healthz, GET /metrics, GET /models,
-// GET /model/{name}, POST /models/{name} (hot swap). See internal/serve.
+// Routes (also under /v1): POST /predict, GET /healthz, GET /metrics,
+// GET /models, GET /model/{name}, POST /models/{name} (hot swap). See
+// internal/serve. Training runs attach a build monitor, so GET /metrics
+// carries a "build" section with the run's per-phase breakdown — live
+// while -background-train is still growing the tree.
 package main
 
 import (
@@ -44,21 +48,37 @@ func main() {
 		procs     = flag.Int("procs", 1, "worker processors for parallel training schemes")
 		maxDepth  = flag.Int("max-depth", 0, "tree depth bound (0 = unlimited)")
 		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
+		bgTrain   = flag.Bool("background-train", false,
+			"start serving before training finishes; watch the build live on /metrics")
 	)
 	flag.Parse()
 
-	model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *doPrune)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := model.Compile(); err != nil {
-		log.Fatal(err)
-	}
-	st := model.Stats()
-	log.Printf("model %q ready (%s): %d nodes, %d leaves, %d levels", *name, source, st.Nodes, st.Leaves, st.Levels)
-
+	mon := parclass.NewBuildMonitor()
 	s := serve.New(*name)
-	if _, err := s.Load(*name, model, source); err != nil {
+	s.SetBuildMonitor(mon)
+
+	train := func() error {
+		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *doPrune, mon)
+		if err != nil {
+			return err
+		}
+		if _, err := s.Load(*name, model, source); err != nil {
+			return err
+		}
+		st := model.Stats()
+		log.Printf("model %q ready (%s): %d nodes, %d leaves, %d levels", *name, source, st.Nodes, st.Leaves, st.Levels)
+		if bt := model.BuildTrace(); bt != nil {
+			log.Printf("build breakdown:\n%s", bt.Format())
+		}
+		return nil
+	}
+	if *bgTrain {
+		go func() {
+			if err := train(); err != nil {
+				log.Printf("background training failed: %v", err)
+			}
+		}()
+	} else if err := train(); err != nil {
 		log.Fatal(err)
 	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -80,7 +100,8 @@ func main() {
 }
 
 // buildModel trains or loads the initial model and describes its origin.
-func buildModel(modelPath, data, synthetic string, seed int64, algorithm string, procs, maxDepth int, doPrune bool) (*parclass.Model, string, error) {
+func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
+	procs, maxDepth int, doPrune bool, mon *parclass.BuildMonitor) (*parclass.Model, string, error) {
 	if modelPath != "" {
 		m, err := parclass.LoadModel(modelPath)
 		return m, "loaded " + modelPath, err
@@ -112,7 +133,7 @@ func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
 	if err != nil {
 		return nil, "", err
 	}
-	opt := parclass.Options{Procs: procs, MaxDepth: maxDepth, Prune: doPrune}
+	opt := parclass.Options{Procs: procs, MaxDepth: maxDepth, Prune: doPrune, Monitor: mon}
 	switch strings.ToLower(algorithm) {
 	case "serial":
 		opt.Algorithm = parclass.Serial

@@ -4,10 +4,16 @@
 // speedup and processor efficiency. It is the diagnostic companion of the
 // virtual-time simulator.
 //
+// With -measure it switches from the simulator to real instrumented
+// builds: each scheme is trained for real at -procs workers and the
+// measured per-worker E/W/S/barrier/idle table (Model.BuildTrace) is
+// printed instead of simulated times.
+//
 // Usage:
 //
 //	tracestat -trace F7-A32-D100K.trace.json -procs 4
 //	tracestat -synthetic F7-A32-D20K -procs 8
+//	tracestat -synthetic F7-A32-D20K -procs 4 -measure
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"log"
 
+	parclass "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -30,8 +37,20 @@ func main() {
 		spec      = flag.String("synthetic", "", "profile this synthetic spec instead (Fx-Ay-DzK)")
 		procs     = flag.Int("procs", 4, "processor count for the per-scheme simulation")
 		windowK   = flag.Int("window", 4, "window size K")
+		measure   = flag.Bool("measure", false,
+			"run real instrumented builds (needs -synthetic) and print measured per-worker E/W/S tables")
 	)
 	flag.Parse()
+
+	if *measure {
+		if *spec == "" {
+			log.Fatal("-measure needs -synthetic")
+		}
+		if err := measureBuilds(*spec, *procs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	tr, err := loadTrace(*tracePath, *spec)
 	if err != nil {
@@ -79,6 +98,40 @@ func main() {
 			scheme, r.BuildSeconds, base.BuildSeconds/r.BuildSeconds,
 			100*r.Efficiency(), r.Grabs, r.Barriers)
 	}
+}
+
+// measureBuilds trains every scheme for real on the spec and prints each
+// run's measured per-worker phase table.
+func measureBuilds(spec string, procs int) error {
+	d, err := bench.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: d.Function, Attrs: d.Attrs, Tuples: d.Tuples, Seed: d.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured builds on %s:\n", spec)
+	for _, alg := range []parclass.Algorithm{
+		parclass.Serial, parclass.Basic, parclass.FWK, parclass.MWK, parclass.Subtree,
+	} {
+		p := procs
+		if alg == parclass.Serial {
+			p = 1
+		}
+		m, err := parclass.Train(ds, parclass.Options{Algorithm: alg, Procs: p})
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		bt := m.BuildTrace()
+		if bt == nil {
+			return fmt.Errorf("%s: no build trace", alg)
+		}
+		fmt.Printf("\n%s\n", bt.Format())
+	}
+	return nil
 }
 
 func loadTrace(path, spec string) (*trace.Trace, error) {

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
 
 // barrier is a reusable counting barrier for a fixed party count, the
 // synchronization point the paper draws as a horizontal bar between the E, W
@@ -37,4 +42,12 @@ func (b *barrier) wait() {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
+}
+
+// timedWait is wait() with the stall recorded into the caller's lane at
+// (lvl, barrier) — how the schemes account inter-phase synchronization.
+func (b *barrier) timedWait(ln *trace.Lane, lvl int) {
+	t0 := time.Now()
+	b.wait()
+	ln.Add(lvl, trace.PhaseBarrier, time.Since(t0))
 }

@@ -3,6 +3,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // runBasic implements the BASIC scheme (paper Fig. 3): per level, the E and
@@ -27,7 +30,12 @@ func (e *engine) runBasic(root *leafState) error {
 	level := 0
 
 	worker := func(id int) {
+		ln := e.rec.Lane(id)
 		for {
+			// lvl is this iteration's level, captured while the master's
+			// level++ is still a barrier away.
+			lvl := level
+
 			// E phase: dynamically grab attributes; evaluate the grabbed
 			// attribute for all leaves of the level so each attribute's
 			// physical files are read once, sequentially.
@@ -36,25 +44,29 @@ func (e *engine) runBasic(root *leafState) error {
 				if a >= e.nattr {
 					break
 				}
+				t0 := time.Now()
 				for _, l := range frontier {
 					if err := e.evalLeafAttr(l, a); err != nil {
 						ferr.set(err)
 						break
 					}
 				}
+				ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(frontier)))
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 
 			// W phase: the master alone finds winners and builds probes —
 			// the sequential bottleneck MWK later removes.
 			if id == 0 && !ferr.failed() {
 				nextBase := e.pairBase(level + 1)
 				for _, l := range frontier {
+					t0 := time.Now()
 					if err := e.winnerAndProbe(l); err != nil {
 						ferr.set(err)
 						break
 					}
 					if !l.didSplit {
+						ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 						continue
 					}
 					for side, c := range l.children {
@@ -66,9 +78,10 @@ func (e *engine) runBasic(root *leafState) error {
 							break
 						}
 					}
+					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 
 			// S phase: dynamically grab attributes again and split.
 			for !ferr.failed() {
@@ -76,17 +89,21 @@ func (e *engine) runBasic(root *leafState) error {
 				if a >= e.nattr {
 					break
 				}
+				t0 := time.Now()
 				for _, l := range frontier {
 					if err := e.splitLeafAttr(l, a); err != nil {
 						ferr.set(err)
 						break
 					}
 				}
+				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(frontier)))
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 
-			// Level bookkeeping by the master.
+			// Level bookkeeping by the master (slot resets are split-phase
+			// cleanup, so their cost lands in S with zero extra units).
 			if id == 0 {
+				t0 := time.Now()
 				next = nil
 				for li, l := range frontier {
 					if !ferr.failed() && l.didSplit {
@@ -110,8 +127,9 @@ func (e *engine) runBasic(root *leafState) error {
 				eCtr.Store(0)
 				sCtr.Store(0)
 				done = len(frontier) == 0
+				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 			if done {
 				return
 			}

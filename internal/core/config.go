@@ -128,6 +128,12 @@ type Config struct {
 	// Cost tracing forces the work itself to run serially (the paper's
 	// profiling configuration) regardless of Algorithm.
 	Trace *trace.Trace
+	// Recorder, when non-nil, receives the build's per-worker E/W/S,
+	// barrier-wait and queue-idle durations live (the observability
+	// layer). When nil Build creates a private one: instrumentation is
+	// always on and costs two monotonic clock reads per work unit, which
+	// the large scan-bound units amortize to <2% of build time.
+	Recorder *trace.Recorder
 	// Context, when non-nil, cancels the build: workers observe
 	// cancellation at work-unit granularity and Build returns ctx.Err().
 	Context context.Context
@@ -185,6 +191,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Trace != nil && c.Algorithm != Serial {
 		return c, fmt.Errorf("core: cost tracing requires Algorithm == Serial")
+	}
+	if c.Recorder == nil {
+		c.Recorder = trace.NewRecorder(c.Procs)
+	} else if c.Recorder.Workers() < c.Procs {
+		return c, fmt.Errorf("core: Recorder has %d lanes, Procs is %d",
+			c.Recorder.Workers(), c.Procs)
 	}
 	return c, nil
 }

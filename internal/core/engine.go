@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/probe"
 	"repro/internal/split"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -60,6 +61,7 @@ type engine struct {
 	store   alist.Store
 	probes  probe.Factory
 	timings Timings
+	rec     *trace.Recorder
 
 	tmpDir    string // non-empty when we created it and must remove it
 	nextChild atomic.Int64
@@ -79,6 +81,7 @@ func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
 		nattr:   tbl.Schema().NumAttrs(),
 		nclass:  tbl.Schema().NumClasses(),
 		ntuples: tbl.NumTuples(),
+		rec:     cfg.Recorder,
 	}
 	if e.ntuples == 0 {
 		return nil, Timings{}, fmt.Errorf("core: empty training set")

@@ -2,6 +2,9 @@ package core
 
 import (
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // runFWK implements the Fixed-Window-K scheme (paper Fig. 4). Leaves of a
@@ -27,12 +30,14 @@ func (e *engine) runFWK(root *leafState) error {
 	level := 0
 
 	worker := func(id int) {
+		ln := e.rec.Lane(id)
 		for {
 			// Snapshot the frontier once per level: the master reassigns
 			// the shared variable at level end, and the block-loop
 			// condition must not observe that write mid-level.
 			cur := frontier
-			nextBase := e.pairBase(level + 1)
+			lvl := level
+			nextBase := e.pairBase(lvl + 1)
 			for blkStart := 0; blkStart < len(cur); blkStart += K {
 				blk := cur[blkStart:min(blkStart+K, len(cur))]
 
@@ -44,21 +49,25 @@ func (e *engine) runFWK(root *leafState) error {
 						if a >= int64(e.nattr) {
 							break
 						}
+						t0 := time.Now()
 						if err := e.evalLeafAttr(l, int(a)); err != nil {
 							ferr.set(err)
 							break
 						}
+						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 						if l.eDone.Add(1) == int64(e.nattr) {
 							// Last processor finishing on this leaf: do W
 							// now, while others evaluate later leaves.
+							tw := time.Now()
 							if err := e.leafWinnerRegister(l, nextBase); err != nil {
 								ferr.set(err)
 							}
+							ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
 						}
 					}
 				}
 				// End-of-block synchronization (one barrier per K-block).
-				bar.wait()
+				bar.timedWait(ln, lvl)
 
 				// S phase for the whole block, (leaf, attribute) units.
 				for _, l := range blk {
@@ -67,26 +76,31 @@ func (e *engine) runFWK(root *leafState) error {
 						if a >= int64(e.nattr) {
 							break
 						}
+						t0 := time.Now()
 						if err := e.splitLeafAttr(l, int(a)); err != nil {
 							ferr.set(err)
 						}
+						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 						if l.sDone.Add(1) == int64(e.nattr) {
 							releaseLeaf(l)
 						}
 					}
 				}
-				bar.wait()
+				bar.timedWait(ln, lvl)
 			}
 
-			// Level bookkeeping by the master.
+			// Level bookkeeping by the master; slot recycling is accounted
+			// as S-phase cleanup.
 			if id == 0 {
-				next = e.windowLevelEnd(frontier, level, &ferr)
+				t0 := time.Now()
+				next = e.windowLevelEnd(frontier, lvl, &ferr)
 				frontier = next
 				level++
 				e.nextChild.Store(0)
 				done = len(frontier) == 0
+				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 			if done {
 				return
 			}

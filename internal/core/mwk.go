@@ -2,6 +2,9 @@ package core
 
 import (
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // runMWK implements the Moving-Window-K scheme (paper Fig. 6). It removes
@@ -29,11 +32,15 @@ func (e *engine) runMWK(root *leafState) error {
 		ferr.set(err)
 		abortOnce.Do(func() { close(abort) })
 	}
-	waitSig := func(ch chan struct{}) {
+	// waitSig blocks on a leaf-done condition; the stall is recorded as
+	// window-idle time in the caller's lane.
+	waitSig := func(ch chan struct{}, ln *trace.Lane, lvl int) {
+		t0 := time.Now()
 		select {
 		case <-ch:
 		case <-abort:
 		}
+		ln.Add(lvl, trace.PhaseIdle, time.Since(t0))
 	}
 
 	var next []*leafState
@@ -43,15 +50,17 @@ func (e *engine) runMWK(root *leafState) error {
 	doneCh = makeSignals(len(frontier))
 
 	// splitGrab executes leaf l's remaining S units dynamically.
-	splitGrab := func(l *leafState) {
+	splitGrab := func(l *leafState, ln *trace.Lane, lvl int) {
 		for !ferr.failed() {
 			a := l.sNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				return
 			}
+			t0 := time.Now()
 			if err := e.splitLeafAttr(l, int(a)); err != nil {
 				fail(err)
 			}
+			ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 			if l.sDone.Add(1) == int64(e.nattr) {
 				releaseLeaf(l)
 			}
@@ -59,12 +68,14 @@ func (e *engine) runMWK(root *leafState) error {
 	}
 
 	worker := func(id int) {
+		ln := e.rec.Lane(id)
 		for {
-			nextBase := e.pairBase(level + 1)
+			lvl := level
+			nextBase := e.pairBase(lvl + 1)
 			for i, l := range frontier {
 				// Moving-window throttle: leaf i waits for leaf i−K.
 				if i >= K {
-					waitSig(doneCh[i-K])
+					waitSig(doneCh[i-K], ln, lvl)
 				}
 				// E units of leaf i, grabbed dynamically.
 				for !ferr.failed() {
@@ -72,16 +83,20 @@ func (e *engine) runMWK(root *leafState) error {
 					if a >= int64(e.nattr) {
 						break
 					}
+					t0 := time.Now()
 					if err := e.evalLeafAttr(l, int(a)); err != nil {
 						fail(err)
 						break
 					}
+					ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 					if l.eDone.Add(1) == int64(e.nattr) {
 						// Last processor finishing leaf i: W, then signal
 						// that the i-th leaf is done.
+						tw := time.Now()
 						if err := e.leafWinnerRegister(l, nextBase); err != nil {
 							fail(err)
 						}
+						ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
 						close(doneCh[i])
 					}
 				}
@@ -91,7 +106,7 @@ func (e *engine) runMWK(root *leafState) error {
 				// and finish them in the completion sweep below.
 				select {
 				case <-doneCh[i]:
-					splitGrab(l)
+					splitGrab(l, ln, lvl)
 				default:
 				}
 			}
@@ -99,20 +114,22 @@ func (e *engine) runMWK(root *leafState) error {
 			// (all E units above have run), so the deferred S units can
 			// be grabbed to exhaustion.
 			for i, l := range frontier {
-				waitSig(doneCh[i])
-				splitGrab(l)
+				waitSig(doneCh[i], ln, lvl)
+				splitGrab(l, ln, lvl)
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 
 			if id == 0 {
-				next = e.windowLevelEnd(frontier, level, &ferr)
+				t0 := time.Now()
+				next = e.windowLevelEnd(frontier, lvl, &ferr)
 				frontier = next
 				level++
 				e.nextChild.Store(0)
 				doneCh = makeSignals(len(frontier))
 				done = len(frontier) == 0
+				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 			if done {
 				return
 			}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/alist"
 	"repro/internal/dataset"
 	"repro/internal/split"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -72,7 +74,9 @@ func (e *engine) runRecPar(root *leafState) error {
 	}
 
 	worker := func(id int) {
+		ln := e.rec.Lane(id)
 		for {
+			lvl := level
 			for _, l := range frontier {
 				lo, hi := chunk(l.n, id)
 
@@ -85,6 +89,7 @@ func (e *engine) runRecPar(root *leafState) error {
 					if e.schema.Attrs[a].Kind == dataset.Continuous {
 						// Pass A: chunk class histogram and boundary values.
 						if !ferr.failed() {
+							t0 := time.Now()
 							h := hists[id]
 							for j := range h {
 								h[j] = 0
@@ -104,9 +109,11 @@ func (e *engine) runRecPar(root *leafState) error {
 								ferr.set(err)
 							}
 							vals[id] = v
+							ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 						}
-						bar.wait()
+						bar.timedWait(ln, lvl)
 						if !ferr.failed() {
+							t0 := time.Now()
 							// Prefix histogram and previous value (replicated
 							// per processor — the paper's "replication of
 							// data structures").
@@ -131,9 +138,11 @@ func (e *engine) runRecPar(root *leafState) error {
 								ferr.set(err)
 							}
 							cands[id] = ev.Finish()
+							ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 						}
-						bar.wait()
+						bar.timedWait(ln, lvl)
 						if id == 0 && !ferr.failed() {
+							t0 := time.Now()
 							best := split.Candidate{}
 							for w := 0; w < P; w++ {
 								if cands[w].Better(best) {
@@ -141,11 +150,13 @@ func (e *engine) runRecPar(root *leafState) error {
 								}
 							}
 							l.cands[a] = best
+							ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 						}
 						continue
 					}
 					// Categorical: per-chunk count matrices, master merge.
 					if !ferr.failed() {
+						t0 := time.Now()
 						card := e.schema.Attrs[a].Cardinality()
 						ev := split.NewCatEval(a, card, l.hist, e.cfg.MaxEnumCard)
 						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
@@ -155,22 +166,26 @@ func (e *engine) runRecPar(root *leafState) error {
 							ferr.set(err)
 						}
 						cats[id] = ev
+						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 					}
-					bar.wait()
+					bar.timedWait(ln, lvl)
 					if id == 0 && !ferr.failed() {
+						t0 := time.Now()
 						for w := 1; w < P; w++ {
 							cats[0].Merge(cats[w])
 						}
 						l.cands[a] = cats[0].Finish()
+						ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 					}
 					// Close the unit before cats slots are reused by the
 					// next categorical attribute.
-					bar.wait()
+					bar.timedWait(ln, lvl)
 				}
-				bar.wait()
+				bar.timedWait(ln, lvl)
 
 				// ---- W phase: chunk-parallel probe construction ----
 				if id == 0 && !ferr.failed() {
+					t0 := time.Now()
 					best := split.Candidate{}
 					for _, c := range l.cands {
 						if c.Better(best) {
@@ -185,9 +200,11 @@ func (e *engine) runRecPar(root *leafState) error {
 					if l.win.Valid {
 						l.prb = e.probes.ForLeaf(best.NLeft, best.NRight)
 					}
+					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				bar.wait()
+				bar.timedWait(ln, lvl)
 				if l.win.Valid && !ferr.failed() {
+					t0 := time.Now()
 					best := l.win
 					hl, hr := histL[id], histR[id]
 					for j := 0; j < e.nclass; j++ {
@@ -208,14 +225,17 @@ func (e *engine) runRecPar(root *leafState) error {
 					}); err != nil {
 						ferr.set(err)
 					}
+					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				bar.wait()
+				bar.timedWait(ln, lvl)
 				if id == 0 && l.win.Valid && !ferr.failed() {
+					t0 := time.Now()
 					if err := e.finishRecParW(l, histL, histR, level); err != nil {
 						ferr.set(err)
 					}
+					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
-				bar.wait()
+				bar.timedWait(ln, lvl)
 
 				// ---- S phase: one unit per attribute, chunk-parallel;
 				// two unconditional barriers per unit (see E phase note).
@@ -226,6 +246,7 @@ func (e *engine) runRecPar(root *leafState) error {
 					// Pass 1: count the chunk's left records.
 					var nl int64
 					if !ferr.failed() {
+						t0 := time.Now()
 						sr := l.segs[a]
 						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
 							for i := range recs {
@@ -238,9 +259,11 @@ func (e *engine) runRecPar(root *leafState) error {
 							ferr.set(err)
 						}
 						lefts[id] = nl
+						ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 					}
-					bar.wait()
+					bar.timedWait(ln, lvl)
 					if !ferr.failed() {
+						t0 := time.Now()
 						// Disjoint output regions from the prefix sums.
 						var prefL int64
 						for w := 0; w < id; w++ {
@@ -250,13 +273,15 @@ func (e *engine) runRecPar(root *leafState) error {
 						if err := e.splitChunk(l, a, lo, hi, prefL, prefR, nl); err != nil {
 							ferr.set(err)
 						}
+						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 					}
-					bar.wait()
+					bar.timedWait(ln, lvl)
 				}
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 
 			if id == 0 {
+				t0 := time.Now()
 				next = nil
 				for li, l := range frontier {
 					if !ferr.failed() && l.didSplit {
@@ -278,8 +303,9 @@ func (e *engine) runRecPar(root *leafState) error {
 				frontier = next
 				level++
 				done = len(frontier) == 0
+				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.wait()
+			bar.timedWait(ln, lvl)
 			if done {
 				return
 			}

@@ -12,6 +12,7 @@ import (
 // costs under each parallel scheme's scheduling policy.
 func (e *engine) runSerial(root *leafState) error {
 	rec := e.cfg.Trace
+	ln := e.rec.Lane(0)
 	frontier := e.rootFrontier(root)
 	level := 0
 	for len(frontier) > 0 {
@@ -32,6 +33,7 @@ func (e *engine) runSerial(root *leafState) error {
 				if err := e.evalLeafAttr(l, a); err != nil {
 					return err
 				}
+				ln.Add(level, trace.PhaseEval, time.Since(t0))
 				if lt != nil {
 					if lt.Leaves[li].E == nil {
 						lt.Leaves[li] = trace.Leaf{
@@ -52,6 +54,7 @@ func (e *engine) runSerial(root *leafState) error {
 			if err := e.winnerAndProbe(l); err != nil {
 				return err
 			}
+			ln.Add(level, trace.PhaseWinner, time.Since(t0))
 			if lt != nil {
 				lt.Leaves[li].W = time.Since(t0).Seconds()
 				lt.Leaves[li].Split = l.didSplit
@@ -60,6 +63,7 @@ func (e *engine) runSerial(root *leafState) error {
 
 		// Assign child slots: left children share one alternate slot,
 		// right children the other (the paper's 4-file scheme).
+		tw := time.Now()
 		nextBase := e.pairBase(level + 1)
 		for _, l := range frontier {
 			if !l.didSplit {
@@ -74,6 +78,7 @@ func (e *engine) runSerial(root *leafState) error {
 				}
 			}
 		}
+		ln.AddN(level, trace.PhaseWinner, time.Since(tw), 0)
 
 		// S: split attribute lists, per attribute per leaf.
 		for a := 0; a < e.nattr; a++ {
@@ -82,6 +87,7 @@ func (e *engine) runSerial(root *leafState) error {
 				if err := e.splitLeafAttr(l, a); err != nil {
 					return err
 				}
+				ln.Add(level, trace.PhaseSplit, time.Since(t0))
 				if lt != nil {
 					lt.Leaves[li].S[a] = time.Since(t0).Seconds()
 				}

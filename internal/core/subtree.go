@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // slotPool hands out pairs of store slots to subtree groups and recycles
@@ -169,11 +171,20 @@ func (e *engine) runSubtree(root *leafState) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for g := range chans[w] {
+			ln := e.rec.Lane(w)
+			// Time spent blocked on the assignment channel is FREE-queue
+			// idleness, attributed to the last group's level (including
+			// the final wait for the termination signal).
+			lastLvl := 0
+			for {
+				t0 := time.Now()
+				g := <-chans[w]
+				ln.Add(lastLvl, trace.PhaseIdle, time.Since(t0))
 				if g == nil {
 					return
 				}
-				e.subtreeMember(g, w, pool, fq, chans, &ferr)
+				lastLvl = g.frontier[0].node.Level
+				e.subtreeMember(g, w, ln, lastLvl, pool, fq, chans, &ferr)
 			}
 		}(w)
 	}
@@ -195,15 +206,15 @@ func identity(n int) []int {
 // subtreeMember executes one group level as worker w. Non-masters return to
 // their assignment channel ("go to sleep") after the level; the master
 // performs the group transition.
-func (e *engine) subtreeMember(g *stGroup, w int, pool *slotPool, fq *freeQueue,
-	chans []chan *stGroup, ferr *errOnce) {
+func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
+	pool *slotPool, fq *freeQueue, chans []chan *stGroup, ferr *errOnce) {
 
 	isMaster := w == g.workers[0]
 
 	if e.cfg.SubtreeInner == MWK {
-		e.subtreeLevelMWK(g, isMaster, ferr)
+		e.subtreeLevelMWK(g, isMaster, ln, lvl, ferr)
 	} else {
-		e.subtreeLevelBasic(g, isMaster, ferr)
+		e.subtreeLevelBasic(g, isMaster, ln, lvl, ferr)
 	}
 
 	if !isMaster {
@@ -211,7 +222,9 @@ func (e *engine) subtreeMember(g *stGroup, w int, pool *slotPool, fq *freeQueue,
 	}
 
 	// Master: build the new frontier, release the parent lists, and decide
-	// the group transition.
+	// the group transition; this bookkeeping is accounted as S cleanup.
+	t0 := time.Now()
+	defer func() { ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0) }()
 	var next []*leafState
 	for li, l := range g.frontier {
 		if !ferr.failed() && l.didSplit {
@@ -286,56 +299,62 @@ func (e *engine) subtreeMember(g *stGroup, w int, pool *slotPool, fq *freeQueue,
 
 // subtreeLevelBasic runs one group level with the BASIC policy: dynamic
 // attribute units for E and S, the group master serially performing W.
-func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ferr *errOnce) {
+func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
+	lvl int, ferr *errOnce) {
 	for !ferr.failed() {
 		a := int(g.eCtr.Add(1) - 1)
 		if a >= e.nattr {
 			break
 		}
+		t0 := time.Now()
 		for _, l := range g.frontier {
 			if err := e.evalLeafAttr(l, a); err != nil {
 				ferr.set(err)
 				break
 			}
 		}
+		ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(g.frontier)))
 	}
-	g.bar.wait()
+	g.bar.timedWait(ln, lvl)
 
 	if isMaster && !ferr.failed() {
 		for _, l := range g.frontier {
+			t0 := time.Now()
 			if err := e.winnerAndProbe(l); err != nil {
 				ferr.set(err)
 				break
 			}
-			if !l.didSplit {
-				continue
-			}
-			for side, c := range l.children {
-				if c.terminal {
-					continue
+			if l.didSplit {
+				for side, c := range l.children {
+					if c.terminal {
+						continue
+					}
+					if err := e.registerChild(c, g.writePair[side]); err != nil {
+						ferr.set(err)
+						break
+					}
 				}
-				if err := e.registerChild(c, g.writePair[side]); err != nil {
-					ferr.set(err)
-					break
-				}
 			}
+			ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 		}
 	}
-	g.bar.wait()
+	g.bar.timedWait(ln, lvl)
 
 	for !ferr.failed() {
 		a := int(g.sCtr.Add(1) - 1)
 		if a >= e.nattr {
 			break
 		}
+		t0 := time.Now()
 		for _, l := range g.frontier {
 			if err := e.splitLeafAttr(l, a); err != nil {
 				ferr.set(err)
 				break
 			}
 		}
+		ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(g.frontier)))
 	}
-	g.bar.wait()
+	g.bar.timedWait(ln, lvl)
 }
 
 // subtreeLevelMWK runs one group level with the MWK policy — the hybrid the
@@ -344,7 +363,8 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ferr *errOnce) {
 // the group master's serial W), opportunistic S, and a completion sweep.
 // Children still go to the group's private write pair, so the file scheme
 // is unchanged.
-func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ferr *errOnce) {
+func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
+	lvl int, ferr *errOnce) {
 	K := e.cfg.WindowK
 	registerMWK := func(l *leafState) error {
 		if err := e.winnerAndProbe(l); err != nil {
@@ -369,31 +389,42 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ferr *errOnce) {
 			if a >= int64(e.nattr) {
 				return
 			}
+			t0 := time.Now()
 			if err := e.splitLeafAttr(l, int(a)); err != nil {
 				ferr.set(err)
 			}
+			ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 			if l.sDone.Add(1) == int64(e.nattr) {
 				releaseLeaf(l)
 			}
 		}
 	}
+	waitSig := func(ch chan struct{}) {
+		t0 := time.Now()
+		e.waitSubtreeSignal(ch, ferr)
+		ln.Add(lvl, trace.PhaseIdle, time.Since(t0))
+	}
 	for i, l := range g.frontier {
 		if i >= K {
-			e.waitSubtreeSignal(g.doneCh[i-K], ferr)
+			waitSig(g.doneCh[i-K])
 		}
 		for !ferr.failed() {
 			a := l.eNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				break
 			}
+			t0 := time.Now()
 			if err := e.evalLeafAttr(l, int(a)); err != nil {
 				ferr.set(err)
 				break
 			}
+			ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 			if l.eDone.Add(1) == int64(e.nattr) {
+				tw := time.Now()
 				if err := registerMWK(l); err != nil {
 					ferr.set(err)
 				}
+				ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
 				close(g.doneCh[i])
 			}
 		}
@@ -404,10 +435,10 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ferr *errOnce) {
 		}
 	}
 	for i, l := range g.frontier {
-		e.waitSubtreeSignal(g.doneCh[i], ferr)
+		waitSig(g.doneCh[i])
 		splitGrab(l)
 	}
-	g.bar.wait()
+	g.bar.timedWait(ln, lvl)
 }
 
 // waitSubtreeSignal waits for a leaf-done signal, giving up after a bounded

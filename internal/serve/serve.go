@@ -7,21 +7,28 @@
 // pointer store, so in-flight requests finish on the model they started
 // with and no request is ever dropped during a swap.
 //
-// Routes:
+// Routes (each also available under the versioned /v1 prefix, the stable
+// contract; the unversioned paths are aliases kept for old clients):
 //
-//	POST /predict          classify one row or a batch of rows
-//	GET  /healthz          liveness + model count
-//	GET  /metrics          request counts, latency/batch histograms
-//	GET  /models           list registered models
-//	GET  /model/{name}     stats, schema, optional rules (?rules=1)
-//	POST /models/{name}    load/replace a model from model JSON
+//	POST /v1/predict          classify one row or a batch of rows
+//	GET  /v1/healthz          liveness + model count
+//	GET  /v1/metrics          request counts, latency/batch histograms,
+//	                          live build-phase gauges
+//	GET  /v1/models           list registered models
+//	GET  /v1/model/{name}     stats, schema, optional rules (?rules=1)
+//	POST /v1/models/{name}    load/replace a model from model JSON
+//
+// A known path hit with the wrong method answers 405 with an Allow header
+// and a JSON error body.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,7 +65,16 @@ type Server struct {
 	mu           sync.RWMutex // guards the name→slot map, not the models
 	models       map[string]*slot
 	met          *metrics
+	// buildMon, when set, surfaces a training run's live phase totals on
+	// /metrics (see SetBuildMonitor).
+	buildMon atomic.Pointer[parclass.BuildMonitor]
 }
+
+// SetBuildMonitor attaches a training run's monitor; GET /metrics then
+// reports the build state and per-phase totals live while the build runs
+// and the final breakdown afterwards. Safe to call at any time, including
+// while serving.
+func (s *Server) SetBuildMonitor(bm *parclass.BuildMonitor) { s.buildMon.Store(bm) }
 
 // New creates an empty server. defaultModel is the name resolved when a
 // predict request omits "model" ("" means DefaultModelName).
@@ -115,16 +131,36 @@ func (s *Server) current(name string) (*slot, *loadedModel) {
 	return sl, sl.ptr.Load()
 }
 
-// Handler builds the route table.
+// Handler builds the route table: every route under /v1 (the stable
+// contract) and again unversioned (aliases for old clients), with a
+// methodless fallback per path answering 405 + Allow for wrong-method hits.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", s.handlePredict)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /models", s.handleList)
-	mux.HandleFunc("GET /model/{name}", s.handleModelInfo)
-	mux.HandleFunc("POST /models/{name}", s.handleModelSwap)
+	for _, p := range []string{"", "/v1"} {
+		route(mux, "POST", p+"/predict", s.handlePredict)
+		route(mux, "GET", p+"/healthz", s.handleHealthz)
+		route(mux, "GET", p+"/metrics", s.handleMetrics)
+		route(mux, "GET", p+"/models", s.handleList)
+		route(mux, "GET", p+"/model/{name}", s.handleModelInfo)
+		route(mux, "POST", p+"/models/{name}", s.handleModelSwap)
+	}
 	return mux
+}
+
+// route registers h for method+path plus a methodless fallback on the same
+// pattern. The Go 1.22 mux prefers the method-specific pattern, so the
+// fallback only sees requests with the wrong method and can answer 405
+// with the Allow header and a JSON body instead of the mux's plain-text
+// default.
+func route(mux *http.ServeMux, method, path string, h http.HandlerFunc) {
+	mux.HandleFunc(method+" "+path, h)
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
+			"error": fmt.Sprintf("method %s not allowed on %s (allow: %s)",
+				r.Method, strings.TrimPrefix(r.URL.Path, "/v1"), method),
+		})
+	})
 }
 
 // writeJSON renders v with status code.
@@ -134,18 +170,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// predictErrCode maps prediction failures to status codes: malformed rows
+// are the client's fault (422), anything else is a server-side failure.
+func predictErrCode(err error) int {
+	if errors.Is(err, parclass.ErrUnknownAttribute) || errors.Is(err, parclass.ErrUnknownValue) {
+		return http.StatusUnprocessableEntity
+	}
+	if errors.Is(err, parclass.ErrNotCompiled) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // writeErr renders an error body and bumps the route's error counter.
 func writeErr(w http.ResponseWriter, rs *routeStats, code int, format string, args ...any) {
 	rs.errors.Add(1)
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// predictRequest is the POST /predict body: exactly one of Row (single)
-// or Rows (batch), plus an optional model name.
+// predictRequest is the POST /predict body: exactly one of Row (single,
+// name→value), Rows (batch of the same), Values (single positional row in
+// schema attribute order — the fast path, no per-attribute keys on the
+// wire) or ValuesRows (batch positional), plus an optional model name.
 type predictRequest struct {
-	Model string              `json:"model,omitempty"`
-	Row   map[string]string   `json:"row,omitempty"`
-	Rows  []map[string]string `json:"rows,omitempty"`
+	Model      string              `json:"model,omitempty"`
+	Row        map[string]string   `json:"row,omitempty"`
+	Rows       []map[string]string `json:"rows,omitempty"`
+	Values     []string            `json:"values,omitempty"`
+	ValuesRows [][]string          `json:"values_rows,omitempty"`
 }
 
 type predictResponse struct {
@@ -165,8 +217,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, rs, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if (req.Row == nil) == (len(req.Rows) == 0) {
-		writeErr(w, rs, http.StatusBadRequest, `need exactly one of "row" and "rows"`)
+	forms := 0
+	for _, set := range []bool{req.Row != nil, len(req.Rows) > 0, len(req.Values) > 0, len(req.ValuesRows) > 0} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		writeErr(w, rs, http.StatusBadRequest, `need exactly one of "row", "rows", "values" and "values_rows"`)
 		return
 	}
 	name := req.Model
@@ -179,18 +237,39 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := predictResponse{Model: name}
-	if req.Row != nil {
+	switch {
+	case req.Row != nil:
 		pred, err := cur.model.Predict(req.Row)
 		if err != nil {
-			writeErr(w, rs, http.StatusUnprocessableEntity, "%v", err)
+			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
 		}
 		resp.Prediction = pred
 		resp.Rows = 1
-	} else {
+	case len(req.Values) > 0:
+		pred, err := cur.model.PredictValues(req.Values)
+		if err != nil {
+			writeErr(w, rs, predictErrCode(err), "%v", err)
+			return
+		}
+		resp.Prediction = pred
+		resp.Rows = 1
+	case len(req.ValuesRows) > 0:
+		preds := make([]string, len(req.ValuesRows))
+		for i, vals := range req.ValuesRows {
+			pred, err := cur.model.PredictValues(vals)
+			if err != nil {
+				writeErr(w, rs, predictErrCode(err), "row %d: %v", i, err)
+				return
+			}
+			preds[i] = pred
+		}
+		resp.Predictions = preds
+		resp.Rows = len(preds)
+	default:
 		preds, err := cur.model.PredictBatch(req.Rows)
 		if err != nil {
-			writeErr(w, rs, http.StatusUnprocessableEntity, "%v", err)
+			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
 		}
 		resp.Predictions = preds
@@ -224,6 +303,44 @@ type metricsSnapshot struct {
 	PredictLatencyUS histogramSnapshot        `json:"predict_latency_us"`
 	PredictBatchRows histogramSnapshot        `json:"predict_batch_rows"`
 	Models           map[string]modelCounters `json:"models"`
+	// Build is present when a BuildMonitor is attached: the training run's
+	// state and per-phase gauges, live while the build is in progress.
+	Build *buildStatus `json:"build,omitempty"`
+}
+
+// buildStatus is the /metrics build section.
+type buildStatus struct {
+	State          string             `json:"state"`
+	Algorithm      string             `json:"algorithm,omitempty"`
+	Procs          int                `json:"procs,omitempty"`
+	BuildSeconds   float64            `json:"build_seconds,omitempty"`
+	PhaseSeconds   map[string]float64 `json:"phase_seconds,omitempty"`
+	Skew           float64            `json:"skew,omitempty"`
+	Efficiency     float64            `json:"efficiency,omitempty"`
+	WorkerBusySecs []float64          `json:"worker_busy_seconds,omitempty"`
+}
+
+// buildStatusFrom renders a monitor snapshot.
+func buildStatusFrom(bm *parclass.BuildMonitor) *buildStatus {
+	state, bt := bm.Snapshot()
+	bs := &buildStatus{State: state}
+	if bt == nil {
+		return bs
+	}
+	tot := bt.Totals()
+	bs.Algorithm = bt.Algorithm.String()
+	bs.Procs = bt.Procs
+	bs.BuildSeconds = bt.BuildSeconds
+	bs.PhaseSeconds = map[string]float64{
+		"eval": tot.Eval, "winner": tot.Winner, "split": tot.Split,
+		"barrier": tot.Barrier, "idle": tot.Idle,
+	}
+	bs.Skew = bt.Skew()
+	bs.Efficiency = bt.Efficiency()
+	for _, w := range bt.WorkerTotals() {
+		bs.WorkerBusySecs = append(bs.WorkerBusySecs, w.Busy())
+	}
+	return bs
 }
 
 type modelCounters struct {
@@ -249,6 +366,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PredictLatencyUS: s.met.latencyUS.snapshot(),
 		PredictBatchRows: s.met.batchRows.snapshot(),
 		Models:           make(map[string]modelCounters),
+	}
+	if bm := s.buildMon.Load(); bm != nil {
+		snap.Build = buildStatusFrom(bm)
 	}
 	s.mu.RLock()
 	for name, sl := range s.models {

@@ -1,0 +1,209 @@
+package trace
+
+// Build-phase observability: a lock-cheap per-worker recorder of where the
+// build's wall clock goes — E (gini evaluation), W (winner + probe), S
+// (list splitting), barrier stalls and queue-idle time — per worker, per
+// tree level. Unlike the cost Trace above (a serial profiling artifact the
+// simulator replays), the Recorder runs inside the real parallel schemes:
+// each worker owns one lane and writes it with plain atomic adds, so the
+// hot loops stay allocation-free and a concurrent reader (the model
+// server's live /metrics gauges) can snapshot a build in progress.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BuildPhase indexes one of the recorded phase buckets.
+type BuildPhase int
+
+const (
+	// PhaseEval is E: split evaluation, one unit per (leaf, attribute).
+	PhaseEval BuildPhase = iota
+	// PhaseWinner is W: winner selection + probe construction, per leaf.
+	PhaseWinner
+	// PhaseSplit is S: attribute-list splitting, one unit per
+	// (leaf, attribute).
+	PhaseSplit
+	// PhaseBarrier is time spent stalled at inter-phase barriers.
+	PhaseBarrier
+	// PhaseIdle is time spent waiting for work: MWK window/condition
+	// waits and SUBTREE free-queue sleeps.
+	PhaseIdle
+	// NumBuildPhases is the bucket count.
+	NumBuildPhases
+)
+
+// String names the phase as the paper does.
+func (p BuildPhase) String() string {
+	switch p {
+	case PhaseEval:
+		return "E"
+	case PhaseWinner:
+		return "W"
+	case PhaseSplit:
+		return "S"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseIdle:
+		return "idle"
+	default:
+		return "?"
+	}
+}
+
+// laneCell accumulates one (level × phase) bucket.
+type laneCell struct {
+	ns    [NumBuildPhases]atomic.Int64
+	units [NumBuildPhases]atomic.Int64
+}
+
+// initialLaneLevels is the preallocated per-lane level capacity; deeper
+// trees grow the slab (a rare, amortized copy done by the lane's single
+// writer, outside any unit's timed region).
+const initialLaneLevels = 32
+
+// Lane is one worker's recording surface. Exactly one worker writes a
+// lane (plain atomic adds on cells it owns); any goroutine may snapshot
+// it concurrently.
+type Lane struct {
+	slab atomic.Pointer[[]laneCell]
+}
+
+func newLane() *Lane {
+	ln := &Lane{}
+	cells := make([]laneCell, initialLaneLevels)
+	ln.slab.Store(&cells)
+	return ln
+}
+
+// cell returns the (grown if needed) cell for level. Only the lane's
+// writer calls it, so the copy-and-publish grow is race-free: readers
+// observe either the old or the new slab, both internally consistent.
+func (ln *Lane) cell(level int) *laneCell {
+	cells := *ln.slab.Load()
+	if level < len(cells) {
+		return &cells[level]
+	}
+	n := len(cells) * 2
+	for n <= level {
+		n *= 2
+	}
+	grown := make([]laneCell, n)
+	for i := range cells {
+		for p := 0; p < int(NumBuildPhases); p++ {
+			grown[i].ns[p].Store(cells[i].ns[p].Load())
+			grown[i].units[p].Store(cells[i].units[p].Load())
+		}
+	}
+	ln.slab.Store(&grown)
+	return &grown[level]
+}
+
+// Add records one work unit of duration d at (level, phase).
+func (ln *Lane) Add(level int, p BuildPhase, d time.Duration) {
+	ln.AddN(level, p, d, 1)
+}
+
+// AddN records n work units taking d in total at (level, phase).
+func (ln *Lane) AddN(level int, p BuildPhase, d time.Duration, n int64) {
+	c := ln.cell(level)
+	c.ns[p].Add(int64(d))
+	c.units[p].Add(n)
+}
+
+// Recorder collects per-worker phase durations for one build. Worker w
+// writes only Lane(w), so the hot path needs no locks; Snapshot may be
+// called at any time, including mid-build.
+type Recorder struct {
+	lanes []*Lane
+}
+
+// NewRecorder creates a recorder for the given worker count.
+func NewRecorder(workers int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Recorder{lanes: make([]*Lane, workers)}
+	for i := range r.lanes {
+		r.lanes[i] = newLane()
+	}
+	return r
+}
+
+// Workers returns the lane count.
+func (r *Recorder) Workers() int { return len(r.lanes) }
+
+// Lane returns worker w's lane.
+func (r *Recorder) Lane(w int) *Lane { return r.lanes[w] }
+
+// BuildLevel is one worker's phase totals at one tree level.
+type BuildLevel struct {
+	// Seconds[p] is the accumulated duration of phase p.
+	Seconds [NumBuildPhases]float64 `json:"seconds"`
+	// Units[p] is the number of work units recorded into phase p.
+	Units [NumBuildPhases]int64 `json:"units"`
+}
+
+// BuildWorker is one worker's per-level recording, root level first.
+type BuildWorker struct {
+	Levels []BuildLevel `json:"levels"`
+}
+
+// Build is the aggregated observability record of one build: what every
+// worker spent on E/W/S, barriers and idling, per tree level.
+type Build struct {
+	Workers []BuildWorker `json:"workers"`
+}
+
+// Snapshot aggregates the recorder's current state. Safe to call while
+// the build is still running; the result is then a consistent-enough
+// live view (each counter is read atomically).
+func (r *Recorder) Snapshot() Build {
+	b := Build{Workers: make([]BuildWorker, len(r.lanes))}
+	for w, ln := range r.lanes {
+		cells := *ln.slab.Load()
+		// Trim trailing all-zero levels so the snapshot reflects the
+		// tree's real depth, not the slab capacity.
+		last := -1
+		levels := make([]BuildLevel, len(cells))
+		for i := range cells {
+			for p := 0; p < int(NumBuildPhases); p++ {
+				levels[i].Seconds[p] = time.Duration(cells[i].ns[p].Load()).Seconds()
+				levels[i].Units[p] = cells[i].units[p].Load()
+				if levels[i].Seconds[p] > 0 || levels[i].Units[p] > 0 {
+					last = i
+				}
+			}
+		}
+		b.Workers[w].Levels = levels[:last+1]
+	}
+	return b
+}
+
+// WorkerSeconds returns each worker's total recorded time (all phases).
+func (b *Build) WorkerSeconds() []float64 {
+	out := make([]float64, len(b.Workers))
+	for w := range b.Workers {
+		for _, lv := range b.Workers[w].Levels {
+			for p := 0; p < int(NumBuildPhases); p++ {
+				out[w] += lv.Seconds[p]
+			}
+		}
+	}
+	return out
+}
+
+// PhaseSeconds returns the per-phase totals summed over workers and
+// levels.
+func (b *Build) PhaseSeconds() [NumBuildPhases]float64 {
+	var out [NumBuildPhases]float64
+	for w := range b.Workers {
+		for _, lv := range b.Workers[w].Levels {
+			for p := 0; p < int(NumBuildPhases); p++ {
+				out[p] += lv.Seconds[p]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder(2)
+	r.Lane(0).Add(0, PhaseEval, 10*time.Millisecond)
+	r.Lane(0).AddN(0, PhaseEval, 20*time.Millisecond, 3)
+	r.Lane(0).Add(1, PhaseSplit, 5*time.Millisecond)
+	r.Lane(1).Add(0, PhaseBarrier, 2*time.Millisecond)
+
+	b := r.Snapshot()
+	if len(b.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(b.Workers))
+	}
+	w0 := b.Workers[0]
+	if len(w0.Levels) != 2 {
+		t.Fatalf("worker 0 levels = %d, want 2", len(w0.Levels))
+	}
+	if got := w0.Levels[0].Seconds[PhaseEval]; got != 0.030 {
+		t.Fatalf("E seconds = %v, want 0.030", got)
+	}
+	if got := w0.Levels[0].Units[PhaseEval]; got != 4 {
+		t.Fatalf("E units = %d, want 4", got)
+	}
+	if got := w0.Levels[1].Seconds[PhaseSplit]; got != 0.005 {
+		t.Fatalf("S seconds = %v, want 0.005", got)
+	}
+	ph := b.PhaseSeconds()
+	if ph[PhaseBarrier] != 0.002 {
+		t.Fatalf("barrier total = %v, want 0.002", ph[PhaseBarrier])
+	}
+	ws := b.WorkerSeconds()
+	if !approxEq(ws[0], 0.035) || !approxEq(ws[1], 0.002) {
+		t.Fatalf("worker seconds = %v", ws)
+	}
+}
+
+// TestRecorderGrow exercises the slab grow path past the preallocated
+// level capacity, checking earlier levels survive the copy.
+func TestRecorderGrow(t *testing.T) {
+	r := NewRecorder(1)
+	ln := r.Lane(0)
+	ln.Add(0, PhaseEval, time.Millisecond)
+	deep := initialLaneLevels * 3
+	ln.Add(deep, PhaseSplit, 2*time.Millisecond)
+	b := r.Snapshot()
+	lv := b.Workers[0].Levels
+	if len(lv) != deep+1 {
+		t.Fatalf("levels = %d, want %d", len(lv), deep+1)
+	}
+	if lv[0].Seconds[PhaseEval] != 0.001 || lv[deep].Seconds[PhaseSplit] != 0.002 {
+		t.Fatalf("grow lost data: %v / %v", lv[0], lv[deep])
+	}
+}
+
+// TestRecorderConcurrentSnapshot hammers writer lanes while snapshotting
+// from another goroutine; run under -race this proves the live-metrics
+// read path is safe mid-build.
+func TestRecorderConcurrentSnapshot(t *testing.T) {
+	const workers = 4
+	r := NewRecorder(workers)
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			ln := r.Lane(w)
+			for i := 0; i < 5000; i++ {
+				ln.Add(i%90, BuildPhase(i%int(NumBuildPhases)), time.Microsecond)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	snapped := make(chan struct{})
+	go func() {
+		defer close(snapped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-snapped
+
+	b := r.Snapshot()
+	for w := 0; w < workers; w++ {
+		var units int64
+		for _, lv := range b.Workers[w].Levels {
+			for p := 0; p < int(NumBuildPhases); p++ {
+				units += lv.Units[p]
+			}
+		}
+		if units != 5000 {
+			t.Fatalf("worker %d recorded %d units, want 5000", w, units)
+		}
+	}
+}

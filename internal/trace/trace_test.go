@@ -33,12 +33,12 @@ func TestTotalsAndSerial(t *testing.T) {
 	want := 3 + 0.5 + 0.5 + // root
 		1 + 0.1 + 0.2 + // leaf 1
 		0.8 + 0.1 + 0.2 // leaf 2
-	if got := tr.SerialSeconds(); !close(got, want) {
+	if got := tr.SerialSeconds(); !approxEq(got, want) {
 		t.Fatalf("SerialSeconds = %g, want %g", got, want)
 	}
 }
 
-func close(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+func approxEq(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
 
 func TestValidate(t *testing.T) {
 	if err := sample().Validate(); err != nil {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/prune"
 	"repro/internal/sliq"
 	"repro/internal/synth"
+	coretrace "repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -147,6 +148,10 @@ type Options struct {
 	PartialPrune bool
 	// ParallelSetup parallelizes attribute-list creation and sorting.
 	ParallelSetup bool
+	// Monitor, when non-nil, observes the build live: poll
+	// Monitor.Snapshot from another goroutine for in-progress per-worker
+	// phase totals. Each training run needs its own BuildMonitor.
+	Monitor *BuildMonitor
 }
 
 func (o Options) coreConfig() core.Config {
@@ -321,6 +326,11 @@ type Model struct {
 	compileOnce sync.Once
 	compiled    *flat.Tree
 	compileErr  error
+	// buildTrace is the build observability record; nil for SLIQ models
+	// and models read back from disk.
+	buildTrace *BuildTrace
+	// valsPool recycles PredictValues' decode buffers.
+	valsPool sync.Pool
 }
 
 // newModel wraps a tree, precomputing the categorical decode index.
@@ -348,11 +358,16 @@ func Train(ds *Dataset, opt Options) (*Model, error) {
 }
 
 // TrainContext is Train with cancellation: workers observe ctx at work-unit
-// granularity and the error is ctx.Err() when cancelled.
+// granularity and the error is ctx.Err() when cancelled. Invalid option
+// combinations are rejected up front with an error wrapping ErrBadOption.
 func TrainContext(ctx context.Context, ds *Dataset, opt Options) (*Model, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	var (
 		tr  *tree.Tree
 		tm  core.Timings
+		bt  *BuildTrace
 		err error
 	)
 	if opt.Algorithm == SLIQ {
@@ -363,13 +378,29 @@ func TrainContext(ctx context.Context, ds *Dataset, opt Options) (*Model, error)
 	} else {
 		cfg := opt.coreConfig()
 		cfg.Context = ctx
+		procs := opt.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		rec := coretrace.NewRecorder(procs)
+		cfg.Recorder = rec
+		if opt.Monitor != nil {
+			opt.Monitor.begin(opt.Algorithm, procs, rec)
+		}
 		tr, tm, err = core.Build(ds.tbl, cfg)
+		if err == nil {
+			bt = buildTraceFrom(opt.Algorithm, procs, tm.Build, rec.Snapshot())
+		}
+		if opt.Monitor != nil {
+			opt.Monitor.finish(bt, err)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	m := newModel(tr)
 	m.timings = Timings{Setup: tm.Setup, Sort: tm.Sort, Build: tm.Build}
+	m.buildTrace = bt
 	if opt.PartialPrune {
 		res := prune.MDLPartial(tr)
 		m.pruned = res.Pruned
@@ -382,6 +413,12 @@ func TrainContext(ctx context.Context, ds *Dataset, opt Options) (*Model, error)
 
 // Timings returns the build's phase breakdown.
 func (m *Model) Timings() Timings { return m.timings }
+
+// BuildTrace returns the build-phase observability record: per worker and
+// per tree level, the time spent in the paper's E/W/S phases plus barrier
+// and idle waits, with skew and parallel-efficiency accessors. It is nil
+// for SLIQ models and models loaded from disk.
+func (m *Model) BuildTrace() *BuildTrace { return m.buildTrace }
 
 // PrunedSubtrees reports how many subtrees MDL pruning collapsed (0 when
 // pruning was disabled).
@@ -419,25 +456,34 @@ func (m *Model) decodeRowInto(row map[string]string, tu dataset.Tuple) error {
 		attr := &s.Attrs[a]
 		raw, ok := row[attr.Name]
 		if !ok {
-			return fmt.Errorf("parclass: missing attribute %q", attr.Name)
+			return fmt.Errorf("%w: missing attribute %q", ErrUnknownAttribute, attr.Name)
 		}
-		if attr.Kind == dataset.Continuous {
-			v, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				// Slow path: tolerate surrounding whitespace.
-				if v, err = strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
-					return fmt.Errorf("parclass: attribute %q: %w", attr.Name, err)
-				}
-			}
-			tu.Cont[a] = v
-		} else {
-			code, ok := m.catCodes[a][raw]
-			if !ok {
-				return fmt.Errorf("parclass: attribute %q: unknown category %q", attr.Name, raw)
-			}
-			tu.Cat[a] = code
+		if err := m.decodeValue(a, raw, tu); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// decodeValue decodes one attribute's string value into the tuple.
+func (m *Model) decodeValue(a int, raw string, tu dataset.Tuple) error {
+	attr := &m.tree.Schema.Attrs[a]
+	if attr.Kind == dataset.Continuous {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			// Slow path: tolerate surrounding whitespace.
+			if v, err = strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
+				return fmt.Errorf("%w: attribute %q: %v", ErrUnknownValue, attr.Name, err)
+			}
+		}
+		tu.Cont[a] = v
+		return nil
+	}
+	code, ok := m.catCodes[a][raw]
+	if !ok {
+		return fmt.Errorf("%w: attribute %q: unknown category %q", ErrUnknownValue, attr.Name, raw)
+	}
+	tu.Cat[a] = code
 	return nil
 }
 
@@ -461,8 +507,51 @@ func (m *Model) Predict(row map[string]string) (string, error) {
 func (m *Model) Compile() error {
 	m.compileOnce.Do(func() {
 		m.compiled, m.compileErr = flat.Compile(m.tree)
+		if m.compileErr != nil {
+			m.compileErr = fmt.Errorf("%w: %v", ErrNotCompiled, m.compileErr)
+		}
 	})
 	return m.compileErr
+}
+
+// valsBuf is PredictValues' reusable decode buffer.
+type valsBuf struct {
+	cont []float64
+	cat  []int32
+}
+
+// PredictValues classifies a single example given positionally: one string
+// per schema attribute, in Dataset.AttrNames order. It skips Predict's map
+// lookups and per-call allocations (buffers come from a pool), making it
+// the fast path for high-throughput callers that send rows in a fixed
+// column order. Wrong-width rows fail with ErrUnknownAttribute, undecodable
+// values with ErrUnknownValue.
+func (m *Model) PredictValues(vals []string) (string, error) {
+	if err := m.Compile(); err != nil {
+		return "", err
+	}
+	s := m.tree.Schema
+	if len(vals) != len(s.Attrs) {
+		return "", fmt.Errorf("%w: got %d values, schema has %d attributes",
+			ErrUnknownAttribute, len(vals), len(s.Attrs))
+	}
+	b, _ := m.valsPool.Get().(*valsBuf)
+	if b == nil {
+		b = &valsBuf{
+			cont: make([]float64, len(s.Attrs)),
+			cat:  make([]int32, len(s.Attrs)),
+		}
+	}
+	tu := dataset.Tuple{Cont: b.cont, Cat: b.cat}
+	for a, raw := range vals {
+		if err := m.decodeValue(a, raw, tu); err != nil {
+			m.valsPool.Put(b)
+			return "", err
+		}
+	}
+	code := m.compiled.Predict(tu)
+	m.valsPool.Put(b)
+	return s.Classes[code], nil
 }
 
 // PredictBatch classifies many examples at once, fanning decode + compiled

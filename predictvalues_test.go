@@ -1,0 +1,139 @@
+package parclass
+
+import (
+	"errors"
+	"testing"
+)
+
+// datasetValueRows re-encodes the first n tuples as positional string rows
+// in schema attribute order, the form PredictValues accepts.
+func datasetValueRows(ds *Dataset, n int) [][]string {
+	rows := datasetRows(ds, n)
+	names := ds.AttrNames()
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		vals := make([]string, len(names))
+		for a, name := range names {
+			vals[a] = row[name]
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+func TestPredictValuesMatchesPredict(t *testing.T) {
+	ds := synthDS(t, 7, 2000)
+	m, err := Train(ds, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := datasetRows(ds, 500)
+	vrows := datasetValueRows(ds, 500)
+	for i := range rows {
+		want, err := m.Predict(rows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.PredictValues(vrows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("row %d: positional %q, map %q", i, got, want)
+		}
+	}
+}
+
+func TestPredictValuesErrors(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 1)
+	// Wrong width.
+	if _, err := m.PredictValues(vrows[0][:3]); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("short row error = %v, want ErrUnknownAttribute", err)
+	}
+	// Unknown category.
+	bad := append([]string(nil), vrows[0]...)
+	names := ds.AttrNames()
+	for a, name := range names {
+		if name == "car" {
+			bad[a] = "spaceship"
+		}
+	}
+	if _, err := m.PredictValues(bad); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("bad category error = %v, want ErrUnknownValue", err)
+	}
+	// Unparseable number.
+	bad = append([]string(nil), vrows[0]...)
+	for a, name := range names {
+		if name == "salary" {
+			bad[a] = "not-a-number"
+		}
+	}
+	if _, err := m.PredictValues(bad); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("bad number error = %v, want ErrUnknownValue", err)
+	}
+}
+
+func TestPredictSentinelErrors(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := datasetRows(ds, 1)
+	missing := make(map[string]string)
+	for k, v := range rows[0] {
+		if k != "age" {
+			missing[k] = v
+		}
+	}
+	if _, err := m.Predict(missing); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("missing attr error = %v, want ErrUnknownAttribute", err)
+	}
+	bad := make(map[string]string)
+	for k, v := range rows[0] {
+		bad[k] = v
+	}
+	bad["car"] = "spaceship"
+	if _, err := m.Predict(bad); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("bad value error = %v, want ErrUnknownValue", err)
+	}
+	if _, err := m.PredictBatch([]map[string]string{bad}); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("batch bad value error = %v, want ErrUnknownValue", err)
+	}
+}
+
+// BenchmarkPredictMapVsValues compares the map row path against the
+// positional fast path on identical rows.
+func BenchmarkPredictMapVsValues(b *testing.B) {
+	ds := synthDS(b, 7, 5000)
+	m, err := Train(ds, Options{MaxDepth: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	rows := datasetRows(ds, 256)
+	vrows := datasetValueRows(ds, 256)
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Predict(rows[i%len(rows)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("values", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictValues(vrows[i%len(vrows)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

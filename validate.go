@@ -1,0 +1,54 @@
+package parclass
+
+import "fmt"
+
+// Validate checks the option set for combinations Train would reject or
+// silently misinterpret. Zero values are valid: they select the documented
+// defaults (Procs 0 → 1, WindowK 0 → 4, MinSplit 0 → 2). Every error wraps
+// ErrBadOption. Train calls Validate itself; calling it earlier lets a
+// server reject a bad configuration before paying for dataset setup.
+func (o Options) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadOption, fmt.Sprintf(format, args...))
+	}
+	switch o.Algorithm {
+	case Serial, Basic, FWK, MWK, Subtree, RecordParallel, SLIQ:
+	default:
+		return bad("unknown algorithm %d", int(o.Algorithm))
+	}
+	switch o.Storage {
+	case Memory, Disk:
+	default:
+		return bad("unknown storage %d", int(o.Storage))
+	}
+	switch o.Probe {
+	case GlobalBitProbe, LeafHashProbe, LeafRelabelProbe:
+	default:
+		return bad("unknown probe kind %d", int(o.Probe))
+	}
+	if o.Procs < 0 {
+		return bad("Procs must be >= 1 (or 0 for the default), got %d", o.Procs)
+	}
+	if o.WindowK < 0 {
+		return bad("WindowK must be >= 1 (or 0 for the default), got %d", o.WindowK)
+	}
+	if o.MinSplit < 0 {
+		return bad("MinSplit must be >= 2 (or 0 for the default), got %d", o.MinSplit)
+	}
+	if o.MinSplit == 1 {
+		return bad("MinSplit must be >= 2, got 1")
+	}
+	if o.MaxDepth < 0 {
+		return bad("MaxDepth must be >= 0, got %d", o.MaxDepth)
+	}
+	if o.MinGiniGain < 0 {
+		return bad("MinGiniGain must be >= 0, got %g", o.MinGiniGain)
+	}
+	if o.Algorithm == RecordParallel && o.Probe != GlobalBitProbe {
+		return bad("RecordParallel requires GlobalBitProbe (workers set probe bits concurrently)")
+	}
+	if o.Algorithm == SLIQ && o.Storage == Disk {
+		return bad("SLIQ supports Memory storage only")
+	}
+	return nil
+}

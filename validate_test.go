@@ -1,0 +1,56 @@
+package parclass
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"full parallel", Options{Algorithm: MWK, Procs: 4, WindowK: 8, Storage: Disk}, true},
+		{"sliq memory", Options{Algorithm: SLIQ}, true},
+		{"unknown algorithm", Options{Algorithm: Algorithm(42)}, false},
+		{"unknown storage", Options{Storage: Storage(9)}, false},
+		{"unknown probe", Options{Probe: ProbeKind(7)}, false},
+		{"negative procs", Options{Procs: -1}, false},
+		{"negative window", Options{WindowK: -2}, false},
+		{"minsplit one", Options{MinSplit: 1}, false},
+		{"negative minsplit", Options{MinSplit: -3}, false},
+		{"negative depth", Options{MaxDepth: -1}, false},
+		{"negative gain", Options{MinGiniGain: -0.5}, false},
+		{"recpar hash probe", Options{Algorithm: RecordParallel, Probe: LeafHashProbe}, false},
+		{"recpar global bit", Options{Algorithm: RecordParallel}, true},
+		{"sliq on disk", Options{Algorithm: SLIQ, Storage: Disk}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate() = nil, want error")
+				}
+				if !errors.Is(err, ErrBadOption) {
+					t.Fatalf("error %v does not wrap ErrBadOption", err)
+				}
+			}
+		})
+	}
+}
+
+// TestTrainValidates checks Train rejects bad options before touching the
+// dataset, wrapping ErrBadOption.
+func TestTrainValidates(t *testing.T) {
+	ds := synthDS(t, 1, 100)
+	_, err := Train(ds, Options{Procs: -2})
+	if !errors.Is(err, ErrBadOption) {
+		t.Fatalf("Train error = %v, want ErrBadOption", err)
+	}
+}
