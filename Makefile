@@ -1,13 +1,14 @@
 # Developer entry points. `make verify` is the tier-1 gate: it builds and
-# vets everything, checks formatting, runs the full test suite, and
+# vets everything, checks formatting, runs the full test suite, the
+# allocation-budget gate (E/W/S work units must not allocate), and
 # race-checks the concurrent packages (the public API, the model server,
 # the flat batch predictor, and the training engines).
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test race bench gobench serve-bench
+.PHONY: verify build vet fmt-check test alloc-check race bench benchcmp gobench serve-bench
 
-verify: build vet fmt-check test race
+verify: build vet fmt-check test alloc-check race
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,12 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# Zero-allocation gate for the scratch-arena hot path (see
+# internal/core/alloc_test.go; -count=1 so a cached pass can't mask a
+# regression introduced by a dependency).
+alloc-check:
+	$(GO) test -count=1 -run 'TestWorkUnitAllocationBudget' ./internal/core/
+
 race:
 	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/...
 
@@ -29,6 +36,11 @@ race:
 # paper's F1/F7 pair, written to the checked-in BENCH_build.json.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_build.json
+
+# Diff the checked-in sweep against the previous PR's baseline; fails on a
+# >10% build-time regression in any matched run.
+benchcmp:
+	$(GO) run ./cmd/benchjson -compare results/bench_pr2_baseline.json BENCH_build.json
 
 # Go micro-benchmarks for the root package (predict paths etc).
 gobench:

@@ -9,6 +9,11 @@
 // Usage:
 //
 //	benchjson -datasets F1-A32-D20K,F7-A32-D20K -procs 1,2,4 -out BENCH_build.json
+//
+// Comparison mode diffs two such documents run by run and fails on
+// regressions (used by `make benchcmp`):
+//
+//	benchjson -compare old.json new.json
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,6 +41,11 @@ type run struct {
 	SortSeconds  float64 `json:"sort_seconds"`
 	Nodes        int     `json:"nodes"`
 	Levels       int     `json:"levels"`
+
+	// Allocator traffic of the Train call (runtime.MemStats deltas), the
+	// quantity the per-worker scratch arenas exist to minimize.
+	MallocsDelta    uint64 `json:"mallocs_delta"`
+	AllocBytesDelta uint64 `json:"alloc_bytes_delta"`
 
 	PhaseSeconds   map[string]float64 `json:"phase_seconds"`
 	WorkerBusySecs []float64          `json:"worker_busy_seconds"`
@@ -58,16 +69,41 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		datasets = flag.String("datasets", "F1-A32-D20K,F7-A32-D20K",
+		datasets = flag.String("datasets", "F1-A32-D20K,F7-A32-D20K,F7-A32-D100K",
 			"comma-separated synthetic specs Fx-Ay-DzK")
 		procsList = flag.String("procs", "1,2,4", "comma-separated processor counts")
 		algs      = flag.String("algorithms", "basic,fwk,mwk,subtree",
 			"comma-separated parallel schemes (serial at P=1 always runs as the baseline)")
-		seed   = flag.Int64("seed", 1, "synthetic generator seed")
-		out    = flag.String("out", "", "write JSON here instead of stdout")
-		warmup = flag.Bool("warmup", true, "run one untimed serial build first to warm the heap")
+		seed       = flag.Int64("seed", 1, "synthetic generator seed")
+		out        = flag.String("out", "", "write JSON here instead of stdout")
+		warmup     = flag.Bool("warmup", true, "run one untimed serial build first to warm the heap")
+		compare    = flag.Bool("compare", false, "compare two reports (args: old.json new.json) and fail on >10% build-time regressions")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two arguments: old.json new.json")
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	procs, err := parseInts(*procsList)
 	if err != nil {
@@ -116,6 +152,18 @@ func main() {
 		}
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialize the final allocation profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -133,7 +181,10 @@ func main() {
 
 // measure trains once and folds the model's BuildTrace into a run record.
 func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs int, serialBuild float64) (run, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	m, err := parclass.Train(ds, parclass.Options{Algorithm: alg, Procs: procs})
+	runtime.ReadMemStats(&after)
 	if err != nil {
 		return run{}, fmt.Errorf("%s/%s/P=%d: %w", spec, alg, procs, err)
 	}
@@ -148,6 +199,9 @@ func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs in
 		SortSeconds:  tm.Sort.Seconds(),
 		Nodes:        st.Nodes,
 		Levels:       st.Levels,
+
+		MallocsDelta:    after.Mallocs - before.Mallocs,
+		AllocBytesDelta: after.TotalAlloc - before.TotalAlloc,
 	}
 	if serialBuild > 0 && r.BuildSeconds > 0 {
 		r.Speedup = serialBuild / r.BuildSeconds
@@ -170,6 +224,71 @@ func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs in
 	r.Skew = bt.Skew()
 	r.Efficiency = bt.Efficiency()
 	return r, nil
+}
+
+// compareReports diffs two benchjson documents run by run (matched on
+// dataset, algorithm and processor count), prints per-run build-time ratios
+// and allocation deltas, and returns an error when any matched run regressed
+// by more than 10% — so `make benchcmp` fails the build on a perf loss.
+func compareReports(oldPath, newPath string) error {
+	load := func(path string) (map[string]run, []string, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rep report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]run, len(rep.Runs))
+		var order []string
+		for _, r := range rep.Runs {
+			key := fmt.Sprintf("%s/%s/P=%d", r.Dataset, r.Algorithm, r.Procs)
+			m[key] = r
+			order = append(order, key)
+		}
+		return m, order, nil
+	}
+	oldRuns, _, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRuns, order, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	const regressionTolerance = 1.10
+	fmt.Printf("%-32s %10s %10s %8s %12s\n", "run", "old(s)", "new(s)", "ratio", "mallocs")
+	var regressions []string
+	matched := 0
+	for _, key := range order {
+		nr := newRuns[key]
+		or, ok := oldRuns[key]
+		if !ok {
+			fmt.Printf("%-32s %10s %10.3f %8s %12d  (no baseline)\n",
+				key, "-", nr.BuildSeconds, "-", nr.MallocsDelta)
+			continue
+		}
+		matched++
+		ratio := or.BuildSeconds / nr.BuildSeconds
+		mark := ""
+		if nr.BuildSeconds > or.BuildSeconds*regressionTolerance {
+			mark = "  REGRESSION"
+			regressions = append(regressions, key)
+		}
+		fmt.Printf("%-32s %10.3f %10.3f %7.2fx %12d%s\n",
+			key, or.BuildSeconds, nr.BuildSeconds, ratio, nr.MallocsDelta, mark)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no runs of %s match any run of %s", newPath, oldPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d run(s) regressed by more than %.0f%%: %s",
+			len(regressions), (regressionTolerance-1)*100, strings.Join(regressions, ", "))
+	}
+	fmt.Printf("%d runs compared, no regression above %.0f%%\n", matched, (regressionTolerance-1)*100)
+	return nil
 }
 
 func loadDataset(spec string, seed int64) (*parclass.Dataset, error) {

@@ -24,7 +24,6 @@ package alist
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/dataset"
@@ -85,28 +84,9 @@ func FromTable(t *dataset.Table, a int) []Record {
 	return recs
 }
 
-// SortByValue sorts a continuous attribute list by value (ties broken by tid
-// for determinism). This is the one-time pre-sort of the setup phase.
-func SortByValue(recs []Record) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Value != recs[j].Value {
-			return recs[i].Value < recs[j].Value
-		}
-		return recs[i].Tid < recs[j].Tid
-	})
-}
-
-// IsSortedByValue reports whether the list is sorted by (value, tid).
-func IsSortedByValue(recs []Record) bool {
-	return sort.SliceIsSorted(recs, func(i, j int) bool {
-		if recs[i].Value != recs[j].Value {
-			return recs[i].Value < recs[j].Value
-		}
-		return recs[i].Tid < recs[j].Tid
-	})
-}
-
-// Appender buffers sequential writes into a reserved region of a slot.
+// Appender buffers sequential writes into a reserved region of a slot. A
+// zero Appender is not usable; obtain one with NewAppender or reuse an old
+// one (keeping its buffer) with Reset.
 type Appender struct {
 	st         Store
 	attr, slot int
@@ -121,8 +101,25 @@ const AppenderChunk = 4096
 // NewAppender creates an appender over a region of n records starting at
 // record offset off (obtained from Reserve).
 func NewAppender(st Store, attr, slot int, off int64, n int) *Appender {
-	return &Appender{st: st, attr: attr, slot: slot, off: off, remaining: n,
-		buf: make([]Record, 0, min(n, AppenderChunk))}
+	ap := &Appender{}
+	ap.Reset(st, attr, slot, off, n)
+	return ap
+}
+
+// Reset points the appender at a new region, retaining the internal buffer
+// so a worker can reuse one appender across split units without allocating.
+// The buffer is grown when a previous region was smaller (in particular a
+// zero-record region must not pin the capacity at zero, or the staging loop
+// in AppendChunk could never make progress); it converges to AppenderChunk
+// and is never reallocated after that.
+func (ap *Appender) Reset(st Store, attr, slot int, off int64, n int) {
+	ap.st, ap.attr, ap.slot = st, attr, slot
+	ap.off, ap.remaining = off, n
+	if want := min(n, AppenderChunk); cap(ap.buf) < want {
+		ap.buf = make([]Record, 0, want)
+	} else {
+		ap.buf = ap.buf[:0]
+	}
 }
 
 // Append adds one record, flushing when the internal buffer fills.
@@ -132,8 +129,46 @@ func (ap *Appender) Append(r Record) error {
 	}
 	ap.remaining--
 	ap.buf = append(ap.buf, r)
-	if len(ap.buf) >= AppenderChunk {
+	if len(ap.buf) >= AppenderChunk || cap(ap.buf) == len(ap.buf) {
 		return ap.Flush()
+	}
+	return nil
+}
+
+// AppendChunk adds a run of records with bulk copies. Runs arriving while
+// the buffer is empty and at least AppenderChunk long skip the buffer
+// entirely: they are written straight from the caller's slice, which for
+// MemStore is a single segment-to-segment memmove. Shorter runs are staged
+// through the buffer so the store still sees chunk-sized writes.
+func (ap *Appender) AppendChunk(recs []Record) error {
+	if len(recs) > ap.remaining {
+		return fmt.Errorf("alist: appender region overflow by %d records (attr %d slot %d)",
+			len(recs)-ap.remaining, ap.attr, ap.slot)
+	}
+	ap.remaining -= len(recs)
+	for len(recs) > 0 {
+		if len(ap.buf) == 0 && len(recs) >= AppenderChunk {
+			if err := ap.st.WriteAt(ap.attr, ap.slot, ap.off, recs); err != nil {
+				return err
+			}
+			ap.off += int64(len(recs))
+			return nil
+		}
+		space := cap(ap.buf) - len(ap.buf)
+		if space == 0 {
+			if err := ap.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		k := min(space, len(recs))
+		ap.buf = append(ap.buf, recs[:k]...)
+		recs = recs[k:]
+		if len(ap.buf) >= AppenderChunk {
+			if err := ap.Flush(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -236,14 +271,29 @@ func (st *MemStore) Reserve(attr, slot int, n int) (int64, error) {
 	off := seg.used
 	seg.used += int64(n)
 	if int64(len(seg.recs)) < seg.used {
-		grown := make([]Record, seg.used)
-		copy(grown, seg.recs)
-		seg.recs = grown
+		if int64(cap(seg.recs)) >= seg.used {
+			// Reset kept the capacity from an earlier level: reuse it
+			// without touching the allocator.
+			seg.recs = seg.recs[:seg.used]
+		} else {
+			// Grow with doubling so a slot reaches its steady-state
+			// capacity in O(log n) allocations, after which every level
+			// reuses it allocation-free.
+			newCap := 2 * int64(cap(seg.recs))
+			if newCap < seg.used {
+				newCap = seg.used
+			}
+			grown := make([]Record, seg.used, newCap)
+			copy(grown, seg.recs)
+			seg.recs = grown
+		}
 	}
 	return off, nil
 }
 
-// WriteAt implements Store.
+// WriteAt implements Store. When recs is a chunk handed out by Scan, the
+// copy below moves records directly from the source segment into the
+// destination segment — the zero-copy split fast path (no staging buffer).
 func (st *MemStore) WriteAt(attr, slot int, off int64, recs []Record) error {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -295,10 +345,3 @@ func (st *MemStore) Reset(attr, slot int) error {
 
 // Close implements Store.
 func (st *MemStore) Close() error { return nil }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

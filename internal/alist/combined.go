@@ -135,8 +135,8 @@ func (st *CombinedFileStore) WriteAt(attr, slot int, off int64, recs []Record) e
 		return fmt.Errorf("alist: write [%d,%d) outside reserved [0,%d) (attr %d slot %d)",
 			off, off+int64(len(recs)), cs.used[attr].Load(), attr, slot)
 	}
-	buf := make([]byte, len(recs)*RecordSize)
-	encodeRecords(buf, recs)
+	bp, buf := encodePooled(recs)
+	defer releaseEncBuf(bp)
 	if _, err := cs.f.WriteAt(buf, st.stripeByte(attr, off)); err != nil {
 		return fmt.Errorf("alist: writing attr %d slot %d: %w", attr, slot, err)
 	}
@@ -145,6 +145,11 @@ func (st *CombinedFileStore) WriteAt(attr, slot int, off int64, recs []Record) e
 
 // Scan implements Store.
 func (st *CombinedFileStore) Scan(attr, slot int, off int64, n int, fn func([]Record) error) error {
+	return st.ScanBuf(attr, slot, off, n, nil, fn)
+}
+
+// ScanBuf implements BufferedScanner; see FileStore.ScanBuf.
+func (st *CombinedFileStore) ScanBuf(attr, slot int, off int64, n int, io *IOBuf, fn func([]Record) error) error {
 	if err := st.checkAttr(attr); err != nil {
 		return err
 	}
@@ -157,8 +162,11 @@ func (st *CombinedFileStore) Scan(attr, slot int, off int64, n int, fn func([]Re
 			off, off+int64(n), cs.used[attr].Load(), attr, slot)
 	}
 	chunk := st.scanChunk
-	buf := make([]byte, chunk*RecordSize)
-	recs := make([]Record, chunk)
+	var local IOBuf
+	if io == nil {
+		io = &local
+	}
+	buf, recs := io.ensure(chunk)
 	for n > 0 {
 		c := chunk
 		if c > n {

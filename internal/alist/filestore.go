@@ -125,8 +125,8 @@ func (st *FileStore) WriteAt(attr, slot int, off int64, recs []Record) error {
 		return fmt.Errorf("alist: write [%d,%d) outside reserved [0,%d) (attr %d slot %d)",
 			off, off+int64(len(recs)), seg.used.Load(), attr, slot)
 	}
-	buf := make([]byte, len(recs)*RecordSize)
-	encodeRecords(buf, recs)
+	bp, buf := encodePooled(recs)
+	defer releaseEncBuf(bp)
 	if _, err := seg.f.WriteAt(buf, off*RecordSize); err != nil {
 		return fmt.Errorf("alist: writing attr %d slot %d: %w", attr, slot, err)
 	}
@@ -135,6 +135,12 @@ func (st *FileStore) WriteAt(attr, slot int, off int64, recs []Record) error {
 
 // Scan implements Store.
 func (st *FileStore) Scan(attr, slot int, off int64, n int, fn func([]Record) error) error {
+	return st.ScanBuf(attr, slot, off, n, nil, fn)
+}
+
+// ScanBuf implements BufferedScanner: like Scan, but staging the read and
+// decode through the caller's IOBuf so repeated scans allocate nothing.
+func (st *FileStore) ScanBuf(attr, slot int, off int64, n int, io *IOBuf, fn func([]Record) error) error {
 	seg, err := st.seg(attr, slot)
 	if err != nil {
 		return err
@@ -144,8 +150,11 @@ func (st *FileStore) Scan(attr, slot int, off int64, n int, fn func([]Record) er
 			off, off+int64(n), seg.used.Load(), attr, slot)
 	}
 	chunk := st.scanChunk
-	buf := make([]byte, chunk*RecordSize)
-	recs := make([]Record, chunk)
+	var local IOBuf
+	if io == nil {
+		io = &local
+	}
+	buf, recs := io.ensure(chunk)
 	for n > 0 {
 		c := chunk
 		if c > n {

@@ -1,0 +1,53 @@
+package alist
+
+import "sync"
+
+// IOBuf is a caller-owned staging area for file-backed scans: one encoded
+// byte buffer plus one decoded record buffer, sized for a scan chunk. Engine
+// workers keep one IOBuf in their per-worker scratch so repeated E/W/S scans
+// of disk-resident lists allocate nothing.
+type IOBuf struct {
+	bytes []byte
+	recs  []Record
+}
+
+// ensure returns chunk-sized views of the buffers, growing them on first use.
+func (b *IOBuf) ensure(chunk int) ([]byte, []Record) {
+	if cap(b.bytes) < chunk*RecordSize {
+		b.bytes = make([]byte, chunk*RecordSize)
+	}
+	if cap(b.recs) < chunk {
+		b.recs = make([]Record, chunk)
+	}
+	return b.bytes[:chunk*RecordSize], b.recs[:chunk]
+}
+
+// BufferedScanner is implemented by stores whose Scan needs staging buffers
+// (the file-backed stores). ScanBuf behaves exactly like Scan but stages
+// through the caller's IOBuf instead of allocating; a nil IOBuf falls back
+// to fresh buffers.
+type BufferedScanner interface {
+	ScanBuf(attr, slot int, off int64, n int, io *IOBuf, fn func([]Record) error) error
+}
+
+// encBufPool recycles encode buffers for WriteAt across all file stores;
+// writes happen on engine worker goroutines, so a pool keeps the steady
+// state allocation-free without threading a buffer through every call site.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, AppenderChunk*RecordSize); return &b }}
+
+// encodePooled encodes recs into a pooled buffer. The caller must pass the
+// returned pointer to releaseEncBuf when the write completes.
+func encodePooled(recs []Record) (*[]byte, []byte) {
+	bp := encBufPool.Get().(*[]byte)
+	need := len(recs) * RecordSize
+	b := *bp
+	if cap(b) < need {
+		b = make([]byte, need)
+		*bp = b
+	}
+	b = b[:need]
+	encodeRecords(b, recs)
+	return bp, b
+}
+
+func releaseEncBuf(bp *[]byte) { encBufPool.Put(bp) }

@@ -31,6 +31,7 @@ func (e *engine) runBasic(root *leafState) error {
 
 	worker := func(id int) {
 		ln := e.rec.Lane(id)
+		sc := e.newScratch()
 		for {
 			// lvl is this iteration's level, captured while the master's
 			// level++ is still a barrier away.
@@ -46,7 +47,7 @@ func (e *engine) runBasic(root *leafState) error {
 				}
 				t0 := time.Now()
 				for _, l := range frontier {
-					if err := e.evalLeafAttr(l, a); err != nil {
+					if err := e.evalLeafAttr(l, a, sc); err != nil {
 						ferr.set(err)
 						break
 					}
@@ -61,7 +62,7 @@ func (e *engine) runBasic(root *leafState) error {
 				nextBase := e.pairBase(level + 1)
 				for _, l := range frontier {
 					t0 := time.Now()
-					if err := e.winnerAndProbe(l); err != nil {
+					if err := e.winnerAndProbe(l, sc); err != nil {
 						ferr.set(err)
 						break
 					}
@@ -91,7 +92,7 @@ func (e *engine) runBasic(root *leafState) error {
 				}
 				t0 := time.Now()
 				for _, l := range frontier {
-					if err := e.splitLeafAttr(l, a); err != nil {
+					if err := e.splitLeafAttr(l, a, sc); err != nil {
 						ferr.set(err)
 						break
 					}

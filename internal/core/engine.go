@@ -59,6 +59,7 @@ type engine struct {
 	nclass  int
 	ntuples int
 	store   alist.Store
+	bscan   alist.BufferedScanner // non-nil when store scans through caller buffers
 	probes  probe.Factory
 	timings Timings
 	rec     *trace.Recorder
@@ -122,6 +123,7 @@ func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
 			}
 		}
 	}
+	e.bscan, _ = e.store.(alist.BufferedScanner)
 	defer func() {
 		e.store.Close()
 		if e.tmpDir != "" {
@@ -264,9 +266,28 @@ func (e *engine) setup() (*leafState, error) {
 	}
 	e.timings.Setup += time.Since(t0)
 
-	// Phase 2 (sort): pre-sort continuous lists by value.
+	// Phase 2 (sort): pre-sort continuous lists by value. With plenty of
+	// continuous attributes the attributes themselves are the parallel
+	// units; with fewer sortable lists than 2 workers each, parallelism
+	// must come from inside a single attribute's sort (chunk sort + merge),
+	// so low-attribute datasets also use all P processors.
 	t0 = time.Now()
-	if err := runPhase(func(a int) error {
+	ncont := 0
+	for a := 0; a < e.nattr; a++ {
+		if e.schema.Attrs[a].Kind == dataset.Continuous {
+			ncont++
+		}
+	}
+	if workers > 1 && ncont < 2*workers {
+		for a := 0; a < e.nattr; a++ {
+			if err := e.cancelled(); err != nil {
+				return nil, err
+			}
+			if e.schema.Attrs[a].Kind == dataset.Continuous {
+				alist.SortByValueParallel(lists[a], workers)
+			}
+		}
+	} else if err := runPhase(func(a int) error {
 		if e.schema.Attrs[a].Kind == dataset.Continuous {
 			alist.SortByValue(lists[a])
 		}
@@ -348,33 +369,37 @@ func (e *engine) cancelled() error {
 	return e.cfg.Context.Err()
 }
 
+// scan streams a list region, staging file-store reads through the worker's
+// scratch IO buffer so steady-state scans allocate nothing.
+func (e *engine) scan(sc *scratch, attr, slot int, off int64, n int, fn func([]alist.Record) error) error {
+	if e.bscan != nil && sc != nil {
+		return e.bscan.ScanBuf(attr, slot, off, n, &sc.io, fn)
+	}
+	return e.store.Scan(attr, slot, off, n, fn)
+}
+
 // evalLeafAttr is one E work unit: find the best split of attribute a at
-// leaf l, storing the candidate in l.cands[a].
-func (e *engine) evalLeafAttr(l *leafState, a int) error {
+// leaf l, storing the candidate in l.cands[a]. The evaluator and the scan
+// callback come from the worker's scratch, so the unit is allocation-free.
+func (e *engine) evalLeafAttr(l *leafState, a int, sc *scratch) error {
 	if err := e.cancelled(); err != nil {
 		return err
 	}
 	sr := l.segs[a]
 	if e.schema.Attrs[a].Kind == dataset.Continuous {
-		ev := split.NewContEval(a, l.hist)
-		if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
-			ev.PushChunk(recs)
-			return nil
-		}); err != nil {
+		sc.cont.Reset(a, l.hist)
+		if err := e.scan(sc, a, sr.slot, sr.off, int(l.n), sc.contScan); err != nil {
 			return err
 		}
-		l.cands[a] = ev.Finish()
+		l.cands[a] = sc.cont.Finish()
 		return nil
 	}
 	card := e.schema.Attrs[a].Cardinality()
-	ev := split.NewCatEval(a, card, l.hist, e.cfg.MaxEnumCard)
-	if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
-		ev.PushChunk(recs)
-		return nil
-	}); err != nil {
+	sc.cat.Reset(a, card, l.hist, e.cfg.MaxEnumCard)
+	if err := e.scan(sc, a, sr.slot, sr.off, int(l.n), sc.catScan); err != nil {
 		return err
 	}
-	l.cands[a] = ev.Finish()
+	l.cands[a] = sc.cat.Finish()
 	return nil
 }
 
@@ -383,7 +408,7 @@ func (e *engine) evalLeafAttr(l *leafState, a int) error {
 // build the probe and the children's class histograms, run the purity
 // pre-test, and attach child nodes. It does not assign child storage; see
 // registerChild.
-func (e *engine) winnerAndProbe(l *leafState) error {
+func (e *engine) winnerAndProbe(l *leafState, sc *scratch) error {
 	if err := e.cancelled(); err != nil {
 		return err
 	}
@@ -403,10 +428,27 @@ func (e *engine) winnerAndProbe(l *leafState) error {
 		return nil
 	}
 	prb := e.probes.ForLeaf(best.NLeft, best.NRight)
+	// The child histograms escape into the tree nodes, so they are the one
+	// per-leaf allocation W keeps.
 	histL := make([]int64, e.nclass)
 	histR := make([]int64, e.nclass)
 	sr := l.segs[best.Attr]
-	if err := e.store.Scan(best.Attr, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+	// Write-combine the probe bits when the design allows it: one atomic Or
+	// plus one atomic AndNot per 64 tids instead of one RMW per record.
+	batched := sc.wb != nil && sc.wb.Begin(prb)
+	err := e.scan(sc, best.Attr, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
+		if batched {
+			for i := range recs {
+				left := best.GoesLeft(recs[i].Value)
+				sc.wb.Set(recs[i].Tid, left)
+				if left {
+					histL[recs[i].Class]++
+				} else {
+					histR[recs[i].Class]++
+				}
+			}
+			return nil
+		}
 		for i := range recs {
 			left := best.GoesLeft(recs[i].Value)
 			prb.Set(recs[i].Tid, left)
@@ -417,7 +459,11 @@ func (e *engine) winnerAndProbe(l *leafState) error {
 			}
 		}
 		return nil
-	}); err != nil {
+	})
+	if batched {
+		sc.wb.Flush()
+	}
+	if err != nil {
 		return err
 	}
 	var nl, nr int64
@@ -474,51 +520,37 @@ func (e *engine) registerChild(c *childInfo, slot int) error {
 
 // splitLeafAttr is one S work unit: route attribute a's records of leaf l to
 // its children using the probe, preserving order. Records destined for
-// terminal (pure) children are dropped.
-func (e *engine) splitLeafAttr(l *leafState, a int) error {
+// terminal (pure) children are dropped. The routing itself is the run-length
+// kernel in scratch.splitRuns; this wrapper arms the worker's appenders over
+// the children's reserved regions and closes them (verifying exact fill).
+func (e *engine) splitLeafAttr(l *leafState, a int, sc *scratch) error {
 	if err := e.cancelled(); err != nil {
 		return err
 	}
 	if !l.didSplit {
 		return nil
 	}
-	var apL, apR *alist.Appender
+	sc.useL, sc.useR = false, false
 	if c := l.children[0]; !c.terminal {
-		apL = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+		sc.apL.Reset(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+		sc.useL = true
 	}
 	if c := l.children[1]; !c.terminal {
-		apR = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+		sc.apR.Reset(e.store, a, c.segs[a].slot, c.segs[a].off, int(c.n))
+		sc.useR = true
 	}
-	prb := l.prb
+	sc.armProbe(l.prb, e.probes.Relabels())
 	sr := l.segs[a]
-	if err := e.store.Scan(a, sr.slot, sr.off, int(l.n), func(recs []alist.Record) error {
-		for i := range recs {
-			r := recs[i]
-			if prb.Left(r.Tid) {
-				if apL != nil {
-					r.Tid = prb.Remap(r.Tid)
-					if err := apL.Append(r); err != nil {
-						return err
-					}
-				}
-			} else if apR != nil {
-				r.Tid = prb.Remap(r.Tid)
-				if err := apR.Append(r); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}); err != nil {
+	if err := e.scan(sc, a, sr.slot, sr.off, int(l.n), sc.splitScan); err != nil {
 		return err
 	}
-	if apL != nil {
-		if err := apL.Close(); err != nil {
+	if sc.useL {
+		if err := sc.apL.Close(); err != nil {
 			return err
 		}
 	}
-	if apR != nil {
-		if err := apR.Close(); err != nil {
+	if sc.useR {
+		if err := sc.apR.Close(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/alist"
+	"repro/internal/probe"
+)
+
+// TestSplitKernelMatchesPerRecordReference is the cross-kernel equivalence
+// property: the run-length split kernel (scratch.splitRuns, bulk AppendChunk
+// moves, raw-bit probe access) must produce byte-identical child lists to a
+// naive per-record reference (interface Left/Remap calls, per-record
+// Append), for every probe design and both storage backends, across run
+// shapes from fully alternating to a single run.
+func TestSplitKernelMatchesPerRecordReference(t *testing.T) {
+	kinds := []probe.Kind{probe.GlobalBit, probe.LeafHash, probe.LeafRelabel}
+	shapes := []struct {
+		name string
+		// left decides the destination of the i-th record of n.
+		left func(i, n int, rng *rand.Rand) bool
+	}{
+		{"random", func(i, n int, rng *rand.Rand) bool { return rng.Intn(2) == 0 }},
+		{"alternating", func(i, n int, rng *rand.Rand) bool { return i%2 == 0 }},
+		{"allLeft", func(i, n int, rng *rand.Rand) bool { return true }},
+		{"halves", func(i, n int, rng *rand.Rand) bool { return i < n/2 }},
+		{"longRuns", func(i, n int, rng *rand.Rand) bool { return (i/97)%2 == 0 }},
+	}
+	for _, kind := range kinds {
+		for _, disk := range []bool{false, true} {
+			for _, shape := range shapes {
+				storage := "mem"
+				if disk {
+					storage = "disk"
+				}
+				t.Run(fmt.Sprintf("%v/%s/%s", kind, storage, shape.name), func(t *testing.T) {
+					runSplitKernelCase(t, kind, disk, shape.left)
+				})
+			}
+		}
+	}
+}
+
+func runSplitKernelCase(t *testing.T, kind probe.Kind, disk bool,
+	leftOf func(i, n int, rng *rand.Rand) bool) {
+	t.Helper()
+	const n = 9000 // > 2×AppenderChunk so the bulk bypass path is exercised
+	rng := rand.New(rand.NewSource(int64(kind)*1000 + int64(n)))
+
+	// A sorted continuous attribute list with duplicate values and a random
+	// tid permutation, as after the setup sort.
+	recs := make([]alist.Record, n)
+	perm := rng.Perm(n)
+	for i := range recs {
+		recs[i] = alist.Record{
+			Value: float64(rng.Intn(n / 3)),
+			Tid:   uint32(perm[i]),
+			Class: int32(rng.Intn(3)),
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Value != recs[j].Value {
+			return recs[i].Value < recs[j].Value
+		}
+		return recs[i].Tid < recs[j].Tid
+	})
+
+	// Destinations keyed by scan position; the probe is keyed by tid.
+	left := make([]bool, n)
+	var nl, nr int64
+	for i := range left {
+		left[i] = leftOf(i, n, rng)
+		if left[i] {
+			nl++
+		} else {
+			nr++
+		}
+	}
+	fac, err := probe.NewFactory(kind, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prb := fac.ForLeaf(nl, nr)
+	for i, r := range recs {
+		prb.Set(r.Tid, left[i])
+	}
+	prb.Seal()
+
+	// Reference child lists, built per record with interface calls only.
+	var refL, refR []alist.Record
+	for _, r := range recs {
+		out := r
+		out.Tid = prb.Remap(r.Tid)
+		if prb.Left(r.Tid) {
+			refL = append(refL, out)
+		} else {
+			refR = append(refR, out)
+		}
+	}
+
+	// Kernel child lists, through a real store.
+	var st alist.Store = alist.NewMemStore(1, 2)
+	if disk {
+		fs, err := alist.NewFileStore(t.TempDir(), 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = fs
+	}
+	defer st.Close()
+	if _, err := st.Reserve(0, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteAt(0, 0, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	offL, err := st.Reserve(0, 1, int(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offR, err := st.Reserve(0, 1, int(nr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &scratch{}
+	sc.splitScan = sc.splitRuns
+	sc.apL.Reset(st, 0, 1, offL, int(nl))
+	sc.apR.Reset(st, 0, 1, offR, int(nr))
+	sc.useL, sc.useR = true, true
+	sc.armProbe(prb, fac.Relabels())
+	if err := st.Scan(0, 0, 0, n, sc.splitScan); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.apL.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.apR.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(side string, off int64, want []alist.Record) {
+		got := make([]alist.Record, 0, len(want))
+		if err := st.Scan(0, 1, off, len(want), func(chunk []alist.Record) error {
+			got = append(got, chunk...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d", side, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s record %d: got %+v, want %+v", side, i, got[i], want[i])
+			}
+		}
+	}
+	check("left", offL, refL)
+	check("right", offR, refR)
+}
+
+// TestSplitKernelDropsTerminalChildren: records routed to a disarmed side
+// (pure child, no storage) must be skipped without disturbing the other side.
+func TestSplitKernelDropsTerminalChildren(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]alist.Record, n)
+	for i := range recs {
+		recs[i] = alist.Record{Value: float64(i), Tid: uint32(i), Class: int32(rng.Intn(2))}
+	}
+	fac, _ := probe.NewFactory(probe.GlobalBit, n)
+	var nl int64
+	left := make([]bool, n)
+	for i := range left {
+		left[i] = rng.Intn(3) > 0
+		if left[i] {
+			nl++
+		}
+	}
+	prb := fac.ForLeaf(nl, int64(n)-nl)
+	for i, r := range recs {
+		prb.Set(r.Tid, left[i])
+	}
+	prb.Seal()
+
+	st := alist.NewMemStore(1, 2)
+	if _, err := st.Reserve(0, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteAt(0, 0, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	offL, err := st.Reserve(0, 1, int(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &scratch{}
+	sc.splitScan = sc.splitRuns
+	sc.apL.Reset(st, 0, 1, offL, int(nl))
+	sc.useL, sc.useR = true, false // right child is terminal
+	sc.armProbe(prb, false)
+	if err := st.Scan(0, 0, 0, n, sc.splitScan); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.apL.Close(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := st.Scan(0, 1, offL, int(nl), func(chunk []alist.Record) error {
+		for _, r := range chunk {
+			if !left[r.Tid] {
+				t.Fatalf("right-bound tid %d leaked into the left child", r.Tid)
+			}
+			i++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(i) != nl {
+		t.Fatalf("left child holds %d records, want %d", i, nl)
+	}
+}

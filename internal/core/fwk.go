@@ -31,6 +31,7 @@ func (e *engine) runFWK(root *leafState) error {
 
 	worker := func(id int) {
 		ln := e.rec.Lane(id)
+		sc := e.newScratch()
 		for {
 			// Snapshot the frontier once per level: the master reassigns
 			// the shared variable at level end, and the block-loop
@@ -50,7 +51,7 @@ func (e *engine) runFWK(root *leafState) error {
 							break
 						}
 						t0 := time.Now()
-						if err := e.evalLeafAttr(l, int(a)); err != nil {
+						if err := e.evalLeafAttr(l, int(a), sc); err != nil {
 							ferr.set(err)
 							break
 						}
@@ -59,7 +60,7 @@ func (e *engine) runFWK(root *leafState) error {
 							// Last processor finishing on this leaf: do W
 							// now, while others evaluate later leaves.
 							tw := time.Now()
-							if err := e.leafWinnerRegister(l, nextBase); err != nil {
+							if err := e.leafWinnerRegister(l, nextBase, sc); err != nil {
 								ferr.set(err)
 							}
 							ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
@@ -77,7 +78,7 @@ func (e *engine) runFWK(root *leafState) error {
 							break
 						}
 						t0 := time.Now()
-						if err := e.splitLeafAttr(l, int(a)); err != nil {
+						if err := e.splitLeafAttr(l, int(a), sc); err != nil {
 							ferr.set(err)
 						}
 						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
@@ -124,8 +125,8 @@ func (e *engine) runFWK(root *leafState) error {
 // are numbered consecutively by an atomic counter and placed round-robin in
 // the K next-level slots — the relabeling scheme that leaves no holes in the
 // K-block schedule.
-func (e *engine) leafWinnerRegister(l *leafState, nextBase int) error {
-	if err := e.winnerAndProbe(l); err != nil {
+func (e *engine) leafWinnerRegister(l *leafState, nextBase int, sc *scratch) error {
+	if err := e.winnerAndProbe(l, sc); err != nil {
 		return err
 	}
 	if !l.didSplit {

@@ -50,14 +50,14 @@ func (e *engine) runMWK(root *leafState) error {
 	doneCh = makeSignals(len(frontier))
 
 	// splitGrab executes leaf l's remaining S units dynamically.
-	splitGrab := func(l *leafState, ln *trace.Lane, lvl int) {
+	splitGrab := func(l *leafState, ln *trace.Lane, lvl int, sc *scratch) {
 		for !ferr.failed() {
 			a := l.sNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				return
 			}
 			t0 := time.Now()
-			if err := e.splitLeafAttr(l, int(a)); err != nil {
+			if err := e.splitLeafAttr(l, int(a), sc); err != nil {
 				fail(err)
 			}
 			ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
@@ -69,6 +69,7 @@ func (e *engine) runMWK(root *leafState) error {
 
 	worker := func(id int) {
 		ln := e.rec.Lane(id)
+		sc := e.newScratch()
 		for {
 			lvl := level
 			nextBase := e.pairBase(lvl + 1)
@@ -84,7 +85,7 @@ func (e *engine) runMWK(root *leafState) error {
 						break
 					}
 					t0 := time.Now()
-					if err := e.evalLeafAttr(l, int(a)); err != nil {
+					if err := e.evalLeafAttr(l, int(a), sc); err != nil {
 						fail(err)
 						break
 					}
@@ -93,7 +94,7 @@ func (e *engine) runMWK(root *leafState) error {
 						// Last processor finishing leaf i: W, then signal
 						// that the i-th leaf is done.
 						tw := time.Now()
-						if err := e.leafWinnerRegister(l, nextBase); err != nil {
+						if err := e.leafWinnerRegister(l, nextBase, sc); err != nil {
 							fail(err)
 						}
 						ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
@@ -106,7 +107,7 @@ func (e *engine) runMWK(root *leafState) error {
 				// and finish them in the completion sweep below.
 				select {
 				case <-doneCh[i]:
-					splitGrab(l, ln, lvl)
+					splitGrab(l, ln, lvl, sc)
 				default:
 				}
 			}
@@ -115,7 +116,7 @@ func (e *engine) runMWK(root *leafState) error {
 			// be grabbed to exhaustion.
 			for i, l := range frontier {
 				waitSig(doneCh[i], ln, lvl)
-				splitGrab(l, ln, lvl)
+				splitGrab(l, ln, lvl, sc)
 			}
 			bar.timedWait(ln, lvl)
 

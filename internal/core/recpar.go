@@ -59,7 +59,7 @@ func (e *engine) runRecPar(root *leafState) error {
 	}
 	vals := make([]chunkVal, P)         // pass-A chunk boundary values
 	cands := make([]split.Candidate, P) // pass-B chunk candidates
-	cats := make([]*split.CatEval, P)   // categorical chunk matrices
+	cats := make([]*split.CatEval, P)   // categorical chunk matrices (scratch-owned)
 	lefts := make([]int64, P)           // S pass-1 chunk left counts
 
 	var next []*leafState
@@ -75,6 +75,11 @@ func (e *engine) runRecPar(root *leafState) error {
 
 	worker := func(id int) {
 		ln := e.rec.Lane(id)
+		// Per-worker arena; slot-published pieces (cats[id]) point into it
+		// and are read by the master strictly between barriers, before the
+		// owner reuses them.
+		sc := e.newScratch()
+		cats[id] = &sc.cat
 		for {
 			lvl := level
 			for _, l := range frontier {
@@ -95,7 +100,7 @@ func (e *engine) runRecPar(root *leafState) error {
 								h[j] = 0
 							}
 							v := chunkVal{}
-							if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+							if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
 								for i := range recs {
 									h[recs[i].Class]++
 								}
@@ -117,7 +122,8 @@ func (e *engine) runRecPar(root *leafState) error {
 							// Prefix histogram and previous value (replicated
 							// per processor — the paper's "replication of
 							// data structures").
-							below := make([]int64, e.nclass)
+							sc.below = zeroInt64(sc.below, e.nclass)
+							below := sc.below
 							prev := 0.0
 							started := false
 							for w := 0; w < id; w++ {
@@ -130,14 +136,11 @@ func (e *engine) runRecPar(root *leafState) error {
 								}
 							}
 							// Pass B: score candidates within the chunk.
-							ev := split.NewContEvalSeeded(a, l.hist, below, prev, started)
-							if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
-								ev.PushChunk(recs)
-								return nil
-							}); err != nil {
+							sc.cont.ResetSeeded(a, l.hist, below, prev, started)
+							if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), sc.contScan); err != nil {
 								ferr.set(err)
 							}
-							cands[id] = ev.Finish()
+							cands[id] = sc.cont.Finish()
 							ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 						}
 						bar.timedWait(ln, lvl)
@@ -158,14 +161,10 @@ func (e *engine) runRecPar(root *leafState) error {
 					if !ferr.failed() {
 						t0 := time.Now()
 						card := e.schema.Attrs[a].Cardinality()
-						ev := split.NewCatEval(a, card, l.hist, e.cfg.MaxEnumCard)
-						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
-							ev.PushChunk(recs)
-							return nil
-						}); err != nil {
+						sc.cat.Reset(a, card, l.hist, e.cfg.MaxEnumCard)
+						if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), sc.catScan); err != nil {
 							ferr.set(err)
 						}
-						cats[id] = ev
 						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 					}
 					bar.timedWait(ln, lvl)
@@ -211,7 +210,24 @@ func (e *engine) runRecPar(root *leafState) error {
 						hl[j], hr[j] = 0, 0
 					}
 					sr := l.segs[best.Attr]
-					if err := e.store.Scan(best.Attr, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+					// Each worker write-combines its own chunk's probe bits;
+					// chunk tids are disjoint, so word atomics compose. The
+					// Flush below happens before the barrier that precedes
+					// the master's Seal.
+					batched := sc.wb != nil && sc.wb.Begin(l.prb)
+					if err := e.scan(sc, best.Attr, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+						if batched {
+							for i := range recs {
+								left := best.GoesLeft(recs[i].Value)
+								sc.wb.Set(recs[i].Tid, left)
+								if left {
+									hl[recs[i].Class]++
+								} else {
+									hr[recs[i].Class]++
+								}
+							}
+							return nil
+						}
 						for i := range recs {
 							left := best.GoesLeft(recs[i].Value)
 							l.prb.Set(recs[i].Tid, left)
@@ -224,6 +240,9 @@ func (e *engine) runRecPar(root *leafState) error {
 						return nil
 					}); err != nil {
 						ferr.set(err)
+					}
+					if batched {
+						sc.wb.Flush()
 					}
 					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
@@ -248,9 +267,10 @@ func (e *engine) runRecPar(root *leafState) error {
 					if !ferr.failed() {
 						t0 := time.Now()
 						sr := l.segs[a]
-						if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
+						prb := l.prb
+						if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
 							for i := range recs {
-								if l.prb.Left(recs[i].Tid) {
+								if prb.Left(recs[i].Tid) {
 									nl++
 								}
 							}
@@ -270,7 +290,7 @@ func (e *engine) runRecPar(root *leafState) error {
 							prefL += lefts[w]
 						}
 						prefR := lo - prefL
-						if err := e.splitChunk(l, a, lo, hi, prefL, prefR, nl); err != nil {
+						if err := e.splitChunk(l, a, lo, hi, prefL, prefR, nl, sc); err != nil {
 							ferr.set(err)
 						}
 						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
@@ -370,43 +390,30 @@ func (e *engine) finishRecParW(l *leafState, histL, histR [][]int64, level int) 
 }
 
 // splitChunk writes one chunk's records into the children's reserved
-// regions at the offsets determined by the prefix sums.
-func (e *engine) splitChunk(l *leafState, a int, lo, hi, prefL, prefR, nl int64) error {
-	var apL, apR *alist.Appender
+// regions at the offsets determined by the prefix sums, reusing the caller's
+// scratch appenders and run-length kernel.
+func (e *engine) splitChunk(l *leafState, a int, lo, hi, prefL, prefR, nl int64, sc *scratch) error {
+	sc.useL, sc.useR = false, false
 	if c := l.children[0]; !c.terminal {
-		apL = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off+prefL, int(nl))
+		sc.apL.Reset(e.store, a, c.segs[a].slot, c.segs[a].off+prefL, int(nl))
+		sc.useL = true
 	}
 	if c := l.children[1]; !c.terminal {
-		apR = alist.NewAppender(e.store, a, c.segs[a].slot, c.segs[a].off+prefR, int(hi-lo-nl))
+		sc.apR.Reset(e.store, a, c.segs[a].slot, c.segs[a].off+prefR, int(hi-lo-nl))
+		sc.useR = true
 	}
-	prb := l.prb
+	sc.armProbe(l.prb, false) // the record-parallel scheme never relabels
 	sr := l.segs[a]
-	if err := e.store.Scan(a, sr.slot, sr.off+lo, int(hi-lo), func(recs []alist.Record) error {
-		for i := range recs {
-			r := recs[i]
-			if prb.Left(r.Tid) {
-				if apL != nil {
-					if err := apL.Append(r); err != nil {
-						return err
-					}
-				}
-			} else if apR != nil {
-				if err := apR.Append(r); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}); err != nil {
+	if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), sc.splitScan); err != nil {
 		return err
 	}
-	if apL != nil {
-		if err := apL.Close(); err != nil {
+	if sc.useL {
+		if err := sc.apL.Close(); err != nil {
 			return err
 		}
 	}
-	if apR != nil {
-		if err := apR.Close(); err != nil {
+	if sc.useR {
+		if err := sc.apR.Close(); err != nil {
 			return err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 func (e *engine) runSerial(root *leafState) error {
 	rec := e.cfg.Trace
 	ln := e.rec.Lane(0)
+	sc := e.newScratch()
 	frontier := e.rootFrontier(root)
 	level := 0
 	for len(frontier) > 0 {
@@ -30,7 +31,7 @@ func (e *engine) runSerial(root *leafState) error {
 		for a := 0; a < e.nattr; a++ {
 			for li, l := range frontier {
 				t0 := time.Now()
-				if err := e.evalLeafAttr(l, a); err != nil {
+				if err := e.evalLeafAttr(l, a, sc); err != nil {
 					return err
 				}
 				ln.Add(level, trace.PhaseEval, time.Since(t0))
@@ -51,7 +52,7 @@ func (e *engine) runSerial(root *leafState) error {
 		// W: winner selection and probe construction, per leaf.
 		for li, l := range frontier {
 			t0 := time.Now()
-			if err := e.winnerAndProbe(l); err != nil {
+			if err := e.winnerAndProbe(l, sc); err != nil {
 				return err
 			}
 			ln.Add(level, trace.PhaseWinner, time.Since(t0))
@@ -84,7 +85,7 @@ func (e *engine) runSerial(root *leafState) error {
 		for a := 0; a < e.nattr; a++ {
 			for li, l := range frontier {
 				t0 := time.Now()
-				if err := e.splitLeafAttr(l, a); err != nil {
+				if err := e.splitLeafAttr(l, a, sc); err != nil {
 					return err
 				}
 				ln.Add(level, trace.PhaseSplit, time.Since(t0))

@@ -172,6 +172,7 @@ func (e *engine) runSubtree(root *leafState) error {
 		go func(w int) {
 			defer wg.Done()
 			ln := e.rec.Lane(w)
+			sc := e.newScratch()
 			// Time spent blocked on the assignment channel is FREE-queue
 			// idleness, attributed to the last group's level (including
 			// the final wait for the termination signal).
@@ -184,7 +185,7 @@ func (e *engine) runSubtree(root *leafState) error {
 					return
 				}
 				lastLvl = g.frontier[0].node.Level
-				e.subtreeMember(g, w, ln, lastLvl, pool, fq, chans, &ferr)
+				e.subtreeMember(g, w, ln, lastLvl, sc, pool, fq, chans, &ferr)
 			}
 		}(w)
 	}
@@ -207,14 +208,14 @@ func identity(n int) []int {
 // their assignment channel ("go to sleep") after the level; the master
 // performs the group transition.
 func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
-	pool *slotPool, fq *freeQueue, chans []chan *stGroup, ferr *errOnce) {
+	sc *scratch, pool *slotPool, fq *freeQueue, chans []chan *stGroup, ferr *errOnce) {
 
 	isMaster := w == g.workers[0]
 
 	if e.cfg.SubtreeInner == MWK {
-		e.subtreeLevelMWK(g, isMaster, ln, lvl, ferr)
+		e.subtreeLevelMWK(g, isMaster, ln, lvl, sc, ferr)
 	} else {
-		e.subtreeLevelBasic(g, isMaster, ln, lvl, ferr)
+		e.subtreeLevelBasic(g, isMaster, ln, lvl, sc, ferr)
 	}
 
 	if !isMaster {
@@ -300,7 +301,7 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 // subtreeLevelBasic runs one group level with the BASIC policy: dynamic
 // attribute units for E and S, the group master serially performing W.
 func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, ferr *errOnce) {
+	lvl int, sc *scratch, ferr *errOnce) {
 	for !ferr.failed() {
 		a := int(g.eCtr.Add(1) - 1)
 		if a >= e.nattr {
@@ -308,7 +309,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		}
 		t0 := time.Now()
 		for _, l := range g.frontier {
-			if err := e.evalLeafAttr(l, a); err != nil {
+			if err := e.evalLeafAttr(l, a, sc); err != nil {
 				ferr.set(err)
 				break
 			}
@@ -320,7 +321,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 	if isMaster && !ferr.failed() {
 		for _, l := range g.frontier {
 			t0 := time.Now()
-			if err := e.winnerAndProbe(l); err != nil {
+			if err := e.winnerAndProbe(l, sc); err != nil {
 				ferr.set(err)
 				break
 			}
@@ -347,7 +348,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		}
 		t0 := time.Now()
 		for _, l := range g.frontier {
-			if err := e.splitLeafAttr(l, a); err != nil {
+			if err := e.splitLeafAttr(l, a, sc); err != nil {
 				ferr.set(err)
 				break
 			}
@@ -364,10 +365,10 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 // Children still go to the group's private write pair, so the file scheme
 // is unchanged.
 func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, ferr *errOnce) {
+	lvl int, sc *scratch, ferr *errOnce) {
 	K := e.cfg.WindowK
 	registerMWK := func(l *leafState) error {
-		if err := e.winnerAndProbe(l); err != nil {
+		if err := e.winnerAndProbe(l, sc); err != nil {
 			return err
 		}
 		if !l.didSplit {
@@ -390,7 +391,7 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 				return
 			}
 			t0 := time.Now()
-			if err := e.splitLeafAttr(l, int(a)); err != nil {
+			if err := e.splitLeafAttr(l, int(a), sc); err != nil {
 				ferr.set(err)
 			}
 			ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
@@ -414,7 +415,7 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 				break
 			}
 			t0 := time.Now()
-			if err := e.evalLeafAttr(l, int(a)); err != nil {
+			if err := e.evalLeafAttr(l, int(a), sc); err != nil {
 				ferr.set(err)
 				break
 			}

@@ -68,6 +68,17 @@ type Leaf interface {
 	Release()
 }
 
+// RawBits is implemented by the bit-array probe designs. It exposes the
+// underlying word array so hot loops (the run-length split kernel) can test
+// membership without an interface call per record. shared reports whether
+// the words are shared with other leaves' concurrent W writers, in which
+// case readers must use atomic loads (the global design); per-leaf arrays
+// (the relabel design) are sealed before S readers start and may be read
+// plainly.
+type RawBits interface {
+	RawBits() (words []uint64, shared bool)
+}
+
 // Factory creates per-leaf probes.
 type Factory interface {
 	// ForLeaf returns the probe for a leaf whose winning split sends
@@ -128,6 +139,80 @@ func (g *globalLeaf) Left(tid uint32) bool {
 func (g *globalLeaf) Remap(tid uint32) uint32 { return tid }
 func (g *globalLeaf) Release()                {}
 
+// RawBits implements RawBits; the array is shared across leaves, so readers
+// must load words atomically.
+func (g *globalLeaf) RawBits() ([]uint64, bool) { return g.words, true }
+
+// WBatch write-combines GlobalBit Set calls from one W executor: bits are
+// accumulated in worker-local shadow words and flushed with one atomic Or
+// and one atomic AndNot per touched word — two atomic RMWs per 64 tids
+// instead of one per record. Correctness with concurrent leaves follows
+// from tid-disjointness: a level's leaves own disjoint tid sets, so the
+// masks flushed by different executors never overlap within a word and the
+// word-level atomics compose. The record-data-parallel scheme's per-worker
+// batches over one leaf are safe for the same reason (disjoint chunk tids).
+type WBatch struct {
+	or, clr []uint64
+	touched []uint32
+	leaf    *globalLeaf
+}
+
+// NewWBatch sizes a batch for a training set of totalTuples tuples.
+func NewWBatch(totalTuples int) *WBatch {
+	words := (totalTuples + 63) / 64
+	return &WBatch{
+		or:      make([]uint64, words),
+		clr:     make([]uint64, words),
+		touched: make([]uint32, 0, words),
+	}
+}
+
+// Begin arms the batch for one leaf's W scan. It reports false — and leaves
+// the batch disarmed — for probe designs other than the global bit array;
+// callers then fall back to per-record Leaf.Set.
+func (b *WBatch) Begin(l Leaf) bool {
+	g, ok := l.(*globalLeaf)
+	if !ok {
+		return false
+	}
+	b.leaf = g
+	return true
+}
+
+// Set records tid's destination in the local shadow words.
+func (b *WBatch) Set(tid uint32, left bool) {
+	w := tid >> 6
+	if b.or[w]|b.clr[w] == 0 {
+		b.touched = append(b.touched, w)
+	}
+	if left {
+		b.or[w] |= 1 << (tid & 63)
+	} else {
+		b.clr[w] |= 1 << (tid & 63)
+	}
+}
+
+// Flush publishes the batched bits into the shared array and disarms the
+// batch. It must run before the leaf's Seal.
+func (b *WBatch) Flush() {
+	g := b.leaf
+	if g == nil {
+		return
+	}
+	for _, w := range b.touched {
+		if m := b.or[w]; m != 0 {
+			atomic.OrUint64(&g.words[w], m)
+			b.or[w] = 0
+		}
+		if m := b.clr[w]; m != 0 {
+			atomic.AndUint64(&g.words[w], ^m)
+			b.clr[w] = 0
+		}
+	}
+	b.touched = b.touched[:0]
+	b.leaf = nil
+}
+
 // hashFactory creates per-leaf hash sets holding only the smaller child's
 // tids ("the size of each leaf's hash table can be reduced by keeping only
 // the smaller child's tids, since the other records must necessarily belong
@@ -143,29 +228,64 @@ func (hashFactory) ForLeaf(nLeft, nRight int64) Leaf {
 	if !smallerLeft {
 		n = nRight
 	}
-	return &hashLeaf{set: make(map[uint32]struct{}, n), smallerLeft: smallerLeft}
+	// Presize for the smaller child at load factor ≤ 1/2 so inserts never
+	// rehash and probes stay short.
+	size := 8
+	for int64(size) < 2*n {
+		size *= 2
+	}
+	return &hashLeaf{
+		slots:       make([]uint32, size),
+		mask:        uint32(size - 1),
+		smallerLeft: smallerLeft,
+	}
 }
 
+// hashLeaf is an open-addressed (linear probing) set of the smaller child's
+// tids. Slots hold tid+1 so zero means empty; tids are tuple indices, far
+// below MaxUint32. Single W writer, concurrent sealed readers.
 type hashLeaf struct {
-	set         map[uint32]struct{}
+	slots       []uint32
+	mask        uint32
 	smallerLeft bool
 }
 
+func (h *hashLeaf) bucket(tid uint32) uint32 {
+	return (tid * 2654435761) & h.mask // Fibonacci hashing
+}
+
 func (h *hashLeaf) Set(tid uint32, left bool) {
-	if left == h.smallerLeft {
-		h.set[tid] = struct{}{}
+	if left != h.smallerLeft {
+		return
+	}
+	key := tid + 1
+	for i := h.bucket(tid); ; i = (i + 1) & h.mask {
+		switch h.slots[i] {
+		case 0:
+			h.slots[i] = key
+			return
+		case key:
+			return
+		}
 	}
 }
 
 func (h *hashLeaf) Seal() {}
 
 func (h *hashLeaf) Left(tid uint32) bool {
-	_, in := h.set[tid]
+	key := tid + 1
+	in := false
+	for i := h.bucket(tid); h.slots[i] != 0; i = (i + 1) & h.mask {
+		if h.slots[i] == key {
+			in = true
+			break
+		}
+	}
 	return in == h.smallerLeft
 }
 
 func (h *hashLeaf) Remap(tid uint32) uint32 { return tid }
-func (h *hashLeaf) Release()                { h.set = nil }
+func (h *hashLeaf) Release()                { h.slots = nil }
 
 // relabelFactory creates per-leaf dense bit probes. It relies on the engine
 // writing remapped tids so that every leaf's tids are 0..n-1; the per-leaf
@@ -229,3 +349,7 @@ func (r *relabelLeaf) Release() {
 	r.words = nil
 	r.rank = nil
 }
+
+// RawBits implements RawBits; the array is private to the leaf and sealed
+// before S readers start, so plain loads are safe.
+func (r *relabelLeaf) RawBits() ([]uint64, bool) { return r.words, false }

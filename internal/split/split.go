@@ -188,17 +188,25 @@ type ContEval struct {
 // NewContEval creates an evaluator for attribute attr at a leaf whose class
 // histogram is total (copied).
 func NewContEval(attr int, total []int64) *ContEval {
-	e := &ContEval{
-		attr:  attr,
-		total: append([]int64(nil), total...),
-		below: make([]int64, len(total)),
-		above: make([]int64, len(total)),
-		best:  Candidate{Attr: attr, Kind: dataset.Continuous, Gini: math.Inf(1)},
-	}
+	e := &ContEval{}
+	e.Reset(attr, total)
+	return e
+}
+
+// Reset re-arms the evaluator for a new (leaf, attribute) unit, reusing its
+// histogram buffers. A zero ContEval may be Reset directly, so per-worker
+// scratch can embed one by value and evaluate every unit allocation-free.
+func (e *ContEval) Reset(attr int, total []int64) {
+	e.attr = attr
+	e.total = append(e.total[:0], total...)
+	e.below = resizeZero(e.below, len(total))
+	e.above = resizeZero(e.above, len(total))
+	e.n, e.nBelow = 0, 0
+	e.prev, e.started = 0, false
+	e.best = Candidate{Attr: attr, Kind: dataset.Continuous, Gini: math.Inf(1)}
 	for _, c := range e.total {
 		e.n += c
 	}
-	return e
 }
 
 // NewContEvalSeeded creates an evaluator for one contiguous chunk of a
@@ -207,14 +215,21 @@ func NewContEval(attr int, total []int64) *ContEval {
 // describe the last value before the chunk so the boundary mid-point is
 // evaluated. total is the whole leaf's class histogram.
 func NewContEvalSeeded(attr int, total, below []int64, prev float64, started bool) *ContEval {
-	e := NewContEval(attr, total)
+	e := &ContEval{}
+	e.ResetSeeded(attr, total, below, prev, started)
+	return e
+}
+
+// ResetSeeded is Reset for the record-data-parallel chunk form; see
+// NewContEvalSeeded.
+func (e *ContEval) ResetSeeded(attr int, total, below []int64, prev float64, started bool) {
+	e.Reset(attr, total)
 	copy(e.below, below)
 	for _, c := range below {
 		e.nBelow += c
 	}
 	e.prev = prev
 	e.started = started
-	return e
 }
 
 // Push consumes the next record (records must arrive in sorted order).
@@ -228,11 +243,33 @@ func (e *ContEval) Push(r alist.Record) {
 	e.started = true
 }
 
-// PushChunk consumes a chunk of records.
+// PushChunk consumes a chunk of records. The loop body repeats Push inline:
+// the E scan spends most of its cycles here, and keeping the per-record path
+// call-free is measurably faster than dispatching Push per record.
 func (e *ContEval) PushChunk(recs []alist.Record) {
 	for i := range recs {
-		e.Push(recs[i])
+		r := recs[i]
+		if e.started && r.Value != e.prev {
+			e.consider((e.prev + r.Value) / 2)
+		}
+		e.below[r.Class]++
+		e.nBelow++
+		e.prev = r.Value
+		e.started = true
 	}
+}
+
+// resizeZero returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resizeZero(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 func (e *ContEval) consider(threshold float64) {
@@ -245,13 +282,17 @@ func (e *ContEval) consider(threshold float64) {
 		e.above[j] = e.total[j] - e.below[j]
 	}
 	g := SplitGini(e.below, e.above, nl, nr)
-	cand := Candidate{
-		Attr: e.attr, Kind: dataset.Continuous, Gini: g,
-		Threshold: threshold, NLeft: nl, NRight: nr, Valid: true,
+	// Thresholds arrive in increasing order, so under the deterministic
+	// Better order (lower gini, then lower threshold) a later candidate only
+	// wins with strictly lower gini; updating fields in place avoids copying
+	// a full Candidate per distinct value.
+	if e.best.Valid && g >= e.best.Gini {
+		return
 	}
-	if cand.Better(e.best) {
-		e.best = cand
-	}
+	e.best.Gini = g
+	e.best.Threshold = threshold
+	e.best.NLeft, e.best.NRight = nl, nr
+	e.best.Valid = true
 }
 
 // Finish returns the best candidate found. If the list had fewer than two
@@ -277,26 +318,39 @@ type CatEval struct {
 	total    []int64
 	n        int64
 	maxEnum  int
+
+	// Reusable subset-search scratch, so Finish allocates only when a new
+	// best subset is materialized.
+	present []int32
+	left    []int64
+	right   []int64
+	inLeft  []bool
 }
 
 // NewCatEval creates an evaluator for categorical attribute attr with domain
 // cardinality card at a leaf whose class histogram is total. maxEnum
 // overrides the enumeration threshold when > 0.
 func NewCatEval(attr, card int, total []int64, maxEnum int) *CatEval {
+	e := &CatEval{}
+	e.Reset(attr, card, total, maxEnum)
+	return e
+}
+
+// Reset re-arms the evaluator for a new (leaf, attribute) unit, reusing the
+// count matrix when the new cardinality and class count fit the old buffers.
+// A zero CatEval may be Reset directly.
+func (e *CatEval) Reset(attr, card int, total []int64, maxEnum int) {
 	if maxEnum <= 0 {
 		maxEnum = MaxEnumCard
 	}
-	e := &CatEval{
-		attr: attr, card: card, nclasses: len(total),
-		counts:  make([]int64, len(total)*card),
-		catTot:  make([]int64, card),
-		total:   append([]int64(nil), total...),
-		maxEnum: maxEnum,
-	}
+	e.attr, e.card, e.nclasses, e.maxEnum = attr, card, len(total), maxEnum
+	e.counts = resizeZero(e.counts, len(total)*card)
+	e.catTot = resizeZero(e.catTot, card)
+	e.total = append(e.total[:0], total...)
+	e.n = 0
 	for _, c := range e.total {
 		e.n += c
 	}
-	return e
 }
 
 // Push consumes the next record (order irrelevant for categorical lists).
@@ -306,10 +360,13 @@ func (e *CatEval) Push(r alist.Record) {
 	e.catTot[cat]++
 }
 
-// PushChunk consumes a chunk of records.
+// PushChunk consumes a chunk of records (per-record path kept inline, as in
+// ContEval.PushChunk).
 func (e *CatEval) PushChunk(recs []alist.Record) {
 	for i := range recs {
-		e.Push(recs[i])
+		cat := int(int32(recs[i].Value))
+		e.counts[int(recs[i].Class)*e.card+cat]++
+		e.catTot[cat]++
 	}
 }
 
@@ -330,12 +387,16 @@ func (e *CatEval) Finish() Candidate {
 	// Gather the categories actually present at this leaf; absent
 	// categories are irrelevant to the gini of this node and are left on
 	// the right branch deterministically.
-	present := make([]int32, 0, e.card)
+	if cap(e.present) < e.card {
+		e.present = make([]int32, 0, e.card)
+	}
+	present := e.present[:0]
 	for c := 0; c < e.card; c++ {
 		if e.catTot[c] > 0 {
 			present = append(present, int32(c))
 		}
 	}
+	e.present = present
 	invalid := Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: math.Inf(1)}
 	if len(present) < 2 {
 		return invalid
@@ -346,14 +407,25 @@ func (e *CatEval) Finish() Candidate {
 	return e.greedy(present)
 }
 
-// evalSubset computes the split gini of putting exactly the categories in
-// mask (over the present list) on the left.
-func (e *CatEval) evalSubset(present []int32, member func(int) bool) (g float64, nl, nr int64, left, right []int64) {
-	left = make([]int64, e.nclasses)
-	right = make([]int64, e.nclasses)
+// evalSubset computes the split gini of putting exactly the categories at
+// present indices i with member(i) on the left. The left/right histograms
+// live in the evaluator's scratch, so repeated evaluations (2^m masks, or
+// m² greedy trials) allocate nothing. member is an index predicate, not a
+// closure allocated per mask: callers pass a mask or the inLeft scratch via
+// the two wrappers below.
+func (e *CatEval) evalSubset(present []int32, isMask bool, mask uint64) (g float64, nl, nr int64) {
+	e.left = resizeZero(e.left, e.nclasses)
+	if cap(e.right) < e.nclasses {
+		e.right = make([]int64, e.nclasses)
+	}
+	left, right := e.left, e.right[:e.nclasses]
 	copy(right, e.total)
 	for i, cat := range present {
-		if !member(i) {
+		if isMask {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+		} else if !e.inLeft[i] {
 			continue
 		}
 		for j := 0; j < e.nclasses; j++ {
@@ -364,7 +436,7 @@ func (e *CatEval) evalSubset(present []int32, member func(int) bool) (g float64,
 		nl += e.catTot[cat]
 	}
 	nr = e.n - nl
-	return SplitGini(left, right, nl, nr), nl, nr, left, right
+	return SplitGini(left, right, nl, nr), nl, nr
 }
 
 // enumerate tries every distinct bipartition of the present categories.
@@ -376,25 +448,26 @@ func (e *CatEval) enumerate(present []int32) Candidate {
 		if mask == (1<<uint(m))-1 {
 			continue // all present on the left ⇒ empty right
 		}
-		g, nl, nr, _, _ := e.evalSubset(present, func(i int) bool { return mask&(1<<uint(i)) != 0 })
+		g, nl, nr := e.evalSubset(present, true, mask)
 		if nl == 0 || nr == 0 {
 			continue
 		}
-		cand := Candidate{Attr: e.attr, Kind: dataset.Categorical, Gini: g,
-			NLeft: nl, NRight: nr, Valid: true}
+		// Ties break toward the earlier (smaller) mask because Better is
+		// strict, so a later mask only wins with strictly lower gini.
 		// Materializing the subset for every mask would be wasteful; only
-		// build it when the candidate wins. Ties break toward the earlier
-		// (smaller) mask because Better is strict.
-		if cand.Better(best) {
-			set := NewCatSet(e.card)
-			for i, cat := range present {
-				if mask&(1<<uint(i)) != 0 {
-					set.Add(cat)
-				}
-			}
-			cand.Subset = set
-			best = cand
+		// build it when the candidate wins.
+		if best.Valid && g >= best.Gini {
+			continue
 		}
+		set := NewCatSet(e.card)
+		for i, cat := range present {
+			if mask&(1<<uint(i)) != 0 {
+				set.Add(cat)
+			}
+		}
+		best.Gini, best.Subset = g, set
+		best.NLeft, best.NRight = nl, nr
+		best.Valid = true
 	}
 	return best
 }
@@ -403,7 +476,14 @@ func (e *CatEval) enumerate(present []int32) Candidate {
 // category that most reduces the split gini, stopping when no addition
 // improves it (SPRINT's greedy subsetting).
 func (e *CatEval) greedy(present []int32) Candidate {
-	inLeft := make([]bool, len(present))
+	if cap(e.inLeft) < len(present) {
+		e.inLeft = make([]bool, len(present))
+	}
+	inLeft := e.inLeft[:len(present)]
+	for i := range inLeft {
+		inLeft[i] = false
+	}
+	e.inLeft = inLeft
 	bestGini := math.Inf(1)
 	var bestCand Candidate
 	for {
@@ -415,7 +495,7 @@ func (e *CatEval) greedy(present []int32) Candidate {
 				continue
 			}
 			inLeft[i] = true
-			g, nl, nr, _, _ := e.evalSubset(present, func(k int) bool { return inLeft[k] })
+			g, nl, nr := e.evalSubset(present, false, 0)
 			inLeft[i] = false
 			if nl == 0 || nr == 0 {
 				continue
