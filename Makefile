@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test alloc-check race bench benchcmp gobench serve-bench
+.PHONY: verify build vet fmt-check test alloc-check race chaos bench benchcmp gobench serve-bench
 
-verify: build vet fmt-check test alloc-check race
+verify: build vet fmt-check test alloc-check race chaos
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ alloc-check:
 
 race:
 	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/...
+
+# The chaos matrix: every scheme x every storage backend x deterministic
+# fault plans (transient/permanent/short-write/panic/latency), under the
+# race detector, with goroutine-leak and temp-dir-leak checks (see
+# internal/core/chaos_test.go and phasefault_test.go).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPhaseFaults|TestStoreCloseErrorSurfaces|TestTempDirRemovedOnStoreCtorFailure' ./internal/core/
 
 # The build-phase observability sweep: real instrumented builds over the
 # paper's F1/F7 pair, written to the checked-in BENCH_build.json.

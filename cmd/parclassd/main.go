@@ -50,6 +50,14 @@ func main() {
 		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
 		bgTrain   = flag.Bool("background-train", false,
 			"start serving before training finishes; watch the build live on /metrics")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
+			"time limit for reading a request's headers (0 = none; Slowloris guard)")
+		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
+			"time limit for reading a whole request including the body (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute,
+			"time limit for writing a response (0 = none)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute,
+			"keep-alive idle connection timeout (0 = none)")
 	)
 	flag.Parse()
 
@@ -75,13 +83,28 @@ func main() {
 	if *bgTrain {
 		go func() {
 			if err := train(); err != nil {
+				// Surface the failure instead of only logging it: /healthz
+				// turns degraded (503 while nothing serves under the name)
+				// and /metrics carries the error, so orchestrators and
+				// dashboards see the dead training run.
+				s.RecordFailure(*name, err)
 				log.Printf("background training failed: %v", err)
 			}
 		}()
 	} else if err := train(); err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Every timeout is flag-overridable; the defaults close slow-header
+	// (Slowloris), slow-body, stuck-response and abandoned keep-alive
+	// connections instead of holding their goroutines forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -90,7 +113,9 @@ func main() {
 		log.Print("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Shutdown(shutdownCtx)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
 	}()
 
 	log.Printf("serving on %s", *addr)

@@ -1,6 +1,10 @@
 package parclass
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/core"
+)
 
 // Sentinel errors returned (wrapped, test with errors.Is) by Train, Predict,
 // PredictBatch and PredictValues.
@@ -17,4 +21,8 @@ var (
 	// ErrNotCompiled marks a prediction path that needs the compiled
 	// flat-tree predictor when compilation failed.
 	ErrNotCompiled = errors.New("parclass: model not compiled")
+	// ErrWorkerPanic marks a Train/Build failure caused by a panicking
+	// build worker; the build tears down cleanly and the panic value plus
+	// its stack are in the wrapped message.
+	ErrWorkerPanic = core.ErrWorkerPanic
 )

@@ -1,0 +1,314 @@
+// Package faultstore wraps an alist.Store with deterministic, programmable
+// fault injection for chaos testing. A Store is configured with a fault
+// plan — an ordered list of Rules — and counts every operation it sees;
+// when a call matches a rule's operation, attribute/slot filter and
+// occurrence window, the rule fires: a permanent or transient error, a
+// short write, an injected panic, or added latency. All bookkeeping is
+// atomic, so the wrapper is safe under the engines' full worker
+// concurrency (and under -race, where the chaos matrix runs it).
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alist"
+)
+
+// Op identifies a Store operation a Rule can target.
+type Op uint8
+
+const (
+	// OpReserve targets Store.Reserve.
+	OpReserve Op = iota
+	// OpWrite targets Store.WriteAt.
+	OpWrite
+	// OpScan targets Store.Scan and BufferedScanner.ScanBuf.
+	OpScan
+	// OpReset targets Store.Reset.
+	OpReset
+	// OpEnsureSlots targets Store.EnsureSlots.
+	OpEnsureSlots
+	// OpClose targets Store.Close.
+	OpClose
+
+	opCount
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpReserve:
+		return "reserve"
+	case OpWrite:
+		return "write"
+	case OpScan:
+		return "scan"
+	case OpReset:
+		return "reset"
+	case OpEnsureSlots:
+		return "ensure-slots"
+	case OpClose:
+		return "close"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Mode selects what a firing rule does to the matched call.
+type Mode uint8
+
+const (
+	// Fail returns a permanent error; retry layers must give up on it.
+	Fail Mode = iota
+	// Transient returns an error marked retryable (alist.MarkTransient),
+	// modeling an interrupted syscall; a bounded retry heals it.
+	Transient
+	// ShortWrite (OpWrite only) writes a prefix of the records, then
+	// returns a transient error wrapping io.ErrShortWrite — the partial
+	// positioned write a full rewrite heals.
+	ShortWrite
+	// Panic panics in the calling goroutine, exercising the engines'
+	// panic containment.
+	Panic
+	// Delay sleeps for the rule's Latency, then executes normally.
+	Delay
+)
+
+// Any matches every attribute or slot in a Rule filter.
+const Any = -1
+
+// ErrInjected is the base error of every injected Fail/Transient/ShortWrite
+// fault; test with errors.Is.
+var ErrInjected = errors.New("faultstore: injected fault")
+
+// Rule is one entry of a fault plan. A call matches when its operation is
+// Op and the Attr/Slot filters accept it (Any accepts everything — note the
+// zero value targets attribute/slot 0, so set Any explicitly). Of the
+// matching calls, the rule skips the first After, then fires on the next
+// Count of them (Count 0 = every one from then on, a permanent fault).
+// When several rules match one call, the first firing rule wins; rules that
+// matched but did not fire still count the call.
+type Rule struct {
+	Op      Op
+	Attr    int // attribute filter; Any for all
+	Slot    int // slot filter; Any for all
+	After   int // matching calls to let through before firing
+	Count   int // times to fire; 0 = unlimited
+	Mode    Mode
+	Err     error         // overrides the injected error (Fail/Transient)
+	Latency time.Duration // Delay mode sleep
+	Chunk   int           // OpScan only: fire before delivering the Chunk-th chunk (1-based) instead of at call entry
+}
+
+// Match builds the common any-attribute, any-slot rule.
+func Match(op Op, after, count int, mode Mode) Rule {
+	return Rule{Op: op, Attr: Any, Slot: Any, After: after, Count: count, Mode: mode}
+}
+
+// rule is a Rule plus its runtime counters.
+type rule struct {
+	Rule
+	seen  atomic.Int64 // matching calls observed
+	fired atomic.Int64 // times the rule injected
+}
+
+// baseErr renders the rule's injected error for one call site.
+func (r *rule) baseErr(op Op, attr, slot int) error {
+	if r.Err != nil {
+		return fmt.Errorf("%w: %v attr=%d slot=%d: %w", ErrInjected, op, attr, slot, r.Err)
+	}
+	return fmt.Errorf("%w: %v attr=%d slot=%d", ErrInjected, op, attr, slot)
+}
+
+// render performs the rule's effect: nil for Delay (after sleeping), a
+// panic for Panic, otherwise the injected error. ShortWrite is rendered by
+// WriteAt itself.
+func (r *rule) render(op Op, attr, slot int) error {
+	switch r.Mode {
+	case Delay:
+		time.Sleep(r.Latency)
+		return nil
+	case Panic:
+		panic(fmt.Sprintf("faultstore: injected panic: %v attr=%d slot=%d", op, attr, slot))
+	case Transient:
+		return alist.MarkTransient(r.baseErr(op, attr, slot))
+	default: // Fail, ShortWrite
+		return r.baseErr(op, attr, slot)
+	}
+}
+
+// Store wraps an alist.Store with a fault plan. Create with New.
+type Store struct {
+	inner alist.Store
+	bscan alist.BufferedScanner
+	rules []*rule
+
+	ops      [opCount]atomic.Int64
+	injected atomic.Int64
+}
+
+var (
+	_ alist.Store           = (*Store)(nil)
+	_ alist.BufferedScanner = (*Store)(nil)
+)
+
+// New wraps inner with the given fault plan.
+func New(inner alist.Store, rules ...Rule) *Store {
+	st := &Store{inner: inner}
+	st.bscan, _ = inner.(alist.BufferedScanner)
+	for _, r := range rules {
+		rr := &rule{Rule: r}
+		st.rules = append(st.rules, rr)
+	}
+	return st
+}
+
+// Injected returns how many calls had a fault injected.
+func (st *Store) Injected() int64 { return st.injected.Load() }
+
+// OpCalls returns how many calls of op the store has seen (fired or not).
+func (st *Store) OpCalls(op Op) int64 { return st.ops[op].Load() }
+
+// fire counts the call and returns the first rule that fires on it, nil
+// when the call passes through clean.
+func (st *Store) fire(op Op, attr, slot int) *rule {
+	st.ops[op].Add(1)
+	for _, r := range st.rules {
+		if r.Op != op ||
+			(r.Attr != Any && r.Attr != attr) ||
+			(r.Slot != Any && r.Slot != slot) {
+			continue
+		}
+		n := r.seen.Add(1)
+		if n <= int64(r.After) {
+			continue
+		}
+		if r.Count > 0 && n > int64(r.After)+int64(r.Count) {
+			continue
+		}
+		r.fired.Add(1)
+		st.injected.Add(1)
+		return r
+	}
+	return nil
+}
+
+// NumSlots implements alist.Store.
+func (st *Store) NumSlots() int { return st.inner.NumSlots() }
+
+// Len implements alist.Store.
+func (st *Store) Len(attr, slot int) int64 { return st.inner.Len(attr, slot) }
+
+// EnsureSlots implements alist.Store.
+func (st *Store) EnsureSlots(n int) error {
+	if r := st.fire(OpEnsureSlots, Any, Any); r != nil {
+		if err := r.render(OpEnsureSlots, Any, Any); err != nil {
+			return err
+		}
+	}
+	return st.inner.EnsureSlots(n)
+}
+
+// Reserve implements alist.Store. Faults fire before the reservation, so a
+// failed Reserve has no partial effect and is safe to retry.
+func (st *Store) Reserve(attr, slot int, n int) (int64, error) {
+	if r := st.fire(OpReserve, attr, slot); r != nil {
+		if err := r.render(OpReserve, attr, slot); err != nil {
+			return 0, err
+		}
+	}
+	return st.inner.Reserve(attr, slot, n)
+}
+
+// WriteAt implements alist.Store. ShortWrite rules write the first half of
+// recs before failing, modeling a torn positioned write.
+func (st *Store) WriteAt(attr, slot int, off int64, recs []alist.Record) error {
+	if r := st.fire(OpWrite, attr, slot); r != nil {
+		if r.Mode == ShortWrite {
+			if k := len(recs) / 2; k > 0 {
+				if err := st.inner.WriteAt(attr, slot, off, recs[:k]); err != nil {
+					return err
+				}
+			}
+			return alist.MarkTransient(fmt.Errorf("%w: %v attr=%d slot=%d: %w",
+				ErrInjected, OpWrite, attr, slot, io.ErrShortWrite))
+		}
+		if err := r.render(OpWrite, attr, slot); err != nil {
+			return err
+		}
+	}
+	return st.inner.WriteAt(attr, slot, off, recs)
+}
+
+// Reset implements alist.Store.
+func (st *Store) Reset(attr, slot int) error {
+	if r := st.fire(OpReset, attr, slot); r != nil {
+		if err := r.render(OpReset, attr, slot); err != nil {
+			return err
+		}
+	}
+	return st.inner.Reset(attr, slot)
+}
+
+// Close implements alist.Store.
+func (st *Store) Close() error {
+	if r := st.fire(OpClose, Any, Any); r != nil {
+		if err := r.render(OpClose, Any, Any); err != nil {
+			return err
+		}
+	}
+	return st.inner.Close()
+}
+
+// Scan implements alist.Store. Entry faults (Chunk 0) fire before any chunk
+// is delivered — the case a clean-restart retry can heal; Chunk > 0 faults
+// fire mid-scan, after real data already reached the callback.
+func (st *Store) Scan(attr, slot int, off int64, n int, fn func([]alist.Record) error) error {
+	fn2, err := st.armScan(attr, slot, fn)
+	if err != nil {
+		return err
+	}
+	return st.inner.Scan(attr, slot, off, n, fn2)
+}
+
+// ScanBuf implements alist.BufferedScanner, degrading to Scan when the
+// inner store has no buffered path.
+func (st *Store) ScanBuf(attr, slot int, off int64, n int, io *alist.IOBuf, fn func([]alist.Record) error) error {
+	fn2, err := st.armScan(attr, slot, fn)
+	if err != nil {
+		return err
+	}
+	if st.bscan != nil {
+		return st.bscan.ScanBuf(attr, slot, off, n, io, fn2)
+	}
+	return st.inner.Scan(attr, slot, off, n, fn2)
+}
+
+// armScan applies scan-entry faults and, for Chunk rules, wraps fn with the
+// mid-scan trigger.
+func (st *Store) armScan(attr, slot int, fn func([]alist.Record) error) (func([]alist.Record) error, error) {
+	r := st.fire(OpScan, attr, slot)
+	if r == nil {
+		return fn, nil
+	}
+	if r.Chunk <= 0 {
+		if err := r.render(OpScan, attr, slot); err != nil {
+			return nil, err
+		}
+		return fn, nil // Delay mode: proceed normally after the sleep
+	}
+	k := 0
+	return func(recs []alist.Record) error {
+		k++
+		if k == r.Chunk {
+			if err := r.render(OpScan, attr, slot); err != nil {
+				return err
+			}
+		}
+		return fn(recs)
+	}, nil
+}

@@ -1,0 +1,181 @@
+package faultstore_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alist"
+	"repro/internal/alist/faultstore"
+)
+
+func seeded(t *testing.T, n int) *alist.MemStore {
+	t.Helper()
+	st := alist.NewMemStore(2, 2)
+	for attr := 0; attr < 2; attr++ {
+		if _, err := st.Reserve(attr, 0, n); err != nil {
+			t.Fatalf("reserve: %v", err)
+		}
+		recs := make([]alist.Record, n)
+		for i := range recs {
+			recs[i] = alist.Record{Tid: uint32(i), Value: float64(i)}
+		}
+		if err := st.WriteAt(attr, 0, 0, recs); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	return st
+}
+
+func TestAfterCountWindow(t *testing.T) {
+	fs := faultstore.New(seeded(t, 8), faultstore.Match(faultstore.OpWrite, 2, 2, faultstore.Fail))
+	rec := []alist.Record{{Tid: 9}}
+	for i := 0; i < 6; i++ {
+		err := fs.WriteAt(0, 0, 0, rec)
+		wantFail := i == 2 || i == 3 // skip the first After=2, fire on the next Count=2
+		if wantFail && !errors.Is(err, faultstore.ErrInjected) {
+			t.Errorf("write %d: want injected fault, got %v", i, err)
+		}
+		if !wantFail && err != nil {
+			t.Errorf("write %d: want clean pass, got %v", i, err)
+		}
+	}
+	if fs.Injected() != 2 {
+		t.Errorf("Injected() = %d, want 2", fs.Injected())
+	}
+	if fs.OpCalls(faultstore.OpWrite) != 6 {
+		t.Errorf("OpCalls(write) = %d, want 6", fs.OpCalls(faultstore.OpWrite))
+	}
+}
+
+func TestAttrSlotFilter(t *testing.T) {
+	fs := faultstore.New(seeded(t, 8),
+		faultstore.Rule{Op: faultstore.OpWrite, Attr: 1, Slot: faultstore.Any, Mode: faultstore.Fail})
+	rec := []alist.Record{{Tid: 9}}
+	if err := fs.WriteAt(0, 0, 0, rec); err != nil {
+		t.Errorf("attr 0 should pass the attr-1 filter: %v", err)
+	}
+	if err := fs.WriteAt(1, 0, 0, rec); !errors.Is(err, faultstore.ErrInjected) {
+		t.Errorf("attr 1 should fire: %v", err)
+	}
+}
+
+func TestShortWriteWritesPrefix(t *testing.T) {
+	fs := faultstore.New(seeded(t, 8), faultstore.Match(faultstore.OpWrite, 0, 1, faultstore.ShortWrite))
+	recs := make([]alist.Record, 8)
+	for i := range recs {
+		recs[i] = alist.Record{Tid: uint32(100 + i)}
+	}
+	err := fs.WriteAt(0, 0, 0, recs)
+	if !errors.Is(err, faultstore.ErrInjected) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("want injected short write, got %v", err)
+	}
+	if !alist.IsTransient(err) {
+		t.Error("short write should be transient")
+	}
+	// The first half must be in place, the tail untouched (old tids 4..7).
+	var tids []uint32
+	if err := fs.Scan(0, 0, 0, 8, func(recs []alist.Record) error {
+		for i := range recs {
+			tids = append(tids, recs[i].Tid)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	for i, tid := range tids {
+		want := uint32(100 + i)
+		if i >= 4 {
+			want = uint32(i)
+		}
+		if tid != want {
+			t.Errorf("record %d: tid %d, want %d", i, tid, want)
+		}
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	fs := faultstore.New(seeded(t, 4), faultstore.Match(faultstore.OpScan, 0, 1, faultstore.Panic))
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected an injected panic")
+		}
+		if !strings.Contains(p.(string), "injected panic") {
+			t.Fatalf("unexpected panic value: %v", p)
+		}
+	}()
+	_ = fs.Scan(0, 0, 0, 4, func([]alist.Record) error { return nil })
+}
+
+func TestDelayMode(t *testing.T) {
+	fs := faultstore.New(seeded(t, 4),
+		faultstore.Rule{Op: faultstore.OpScan, Attr: faultstore.Any, Slot: faultstore.Any,
+			Count: 1, Mode: faultstore.Delay, Latency: 20 * time.Millisecond})
+	var n int
+	t0 := time.Now()
+	if err := fs.Scan(0, 0, 0, 4, func(recs []alist.Record) error {
+		n += len(recs)
+		return nil
+	}); err != nil {
+		t.Fatalf("delay must not fail the call: %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Errorf("scan returned after %v, want >= 20ms of injected latency", d)
+	}
+	if n != 4 {
+		t.Errorf("delayed scan delivered %d records, want 4", n)
+	}
+	if fs.Injected() != 1 {
+		t.Errorf("Injected() = %d, want 1", fs.Injected())
+	}
+}
+
+func TestChunkFaultFiresMidScan(t *testing.T) {
+	// MemStore delivers one chunk, so Chunk=1 fires before it reaches the
+	// callback.
+	fs := faultstore.New(seeded(t, 4),
+		faultstore.Rule{Op: faultstore.OpScan, Attr: faultstore.Any, Slot: faultstore.Any,
+			Count: 1, Mode: faultstore.Fail, Chunk: 1})
+	var n int
+	err := fs.Scan(0, 0, 0, 4, func(recs []alist.Record) error {
+		n += len(recs)
+		return nil
+	})
+	if !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if n != 0 {
+		t.Errorf("callback saw %d records, want 0", n)
+	}
+}
+
+func TestErrOverride(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	fs := faultstore.New(seeded(t, 4),
+		faultstore.Rule{Op: faultstore.OpReset, Attr: faultstore.Any, Slot: faultstore.Any,
+			Count: 1, Mode: faultstore.Fail, Err: sentinel})
+	err := fs.Reset(0, 0)
+	if !errors.Is(err, faultstore.ErrInjected) || !errors.Is(err, sentinel) {
+		t.Fatalf("want both ErrInjected and the override, got %v", err)
+	}
+}
+
+func TestFirstFiringRuleWins(t *testing.T) {
+	a := errors.New("rule a")
+	b := errors.New("rule b")
+	fs := faultstore.New(seeded(t, 4),
+		faultstore.Rule{Op: faultstore.OpReset, Attr: faultstore.Any, Slot: faultstore.Any,
+			Count: 1, Mode: faultstore.Fail, Err: a},
+		faultstore.Rule{Op: faultstore.OpReset, Attr: faultstore.Any, Slot: faultstore.Any,
+			Mode: faultstore.Fail, Err: b})
+	if err := fs.Reset(0, 0); !errors.Is(err, a) {
+		t.Errorf("first call should fire rule a: %v", err)
+	}
+	// Rule a is spent; rule b (unlimited) takes over.
+	if err := fs.Reset(0, 0); !errors.Is(err, b) {
+		t.Errorf("second call should fire rule b: %v", err)
+	}
+}

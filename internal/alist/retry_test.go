@@ -1,0 +1,200 @@
+package alist_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"testing"
+
+	"repro/internal/alist"
+	"repro/internal/alist/faultstore"
+)
+
+// chunker wraps a store so Scan delivers one record per chunk, letting the
+// tests distinguish before-first-chunk faults from mid-scan faults.
+type chunker struct {
+	alist.Store
+}
+
+func (c *chunker) Scan(attr, slot int, off int64, n int, fn func([]alist.Record) error) error {
+	return c.Store.Scan(attr, slot, off, n, func(recs []alist.Record) error {
+		for i := range recs {
+			if err := fn(recs[i : i+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// seeded returns a MemStore with n records reserved and written in attr 0
+// slot 0, record i holding value i.
+func seeded(t *testing.T, n int) *alist.MemStore {
+	t.Helper()
+	st := alist.NewMemStore(2, 2)
+	off, err := st.Reserve(0, 0, n)
+	if err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	recs := make([]alist.Record, n)
+	for i := range recs {
+		recs[i] = alist.Record{Tid: uint32(i), Value: float64(i)}
+	}
+	if err := st.WriteAt(0, 0, off, recs); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return st
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{alist.MarkTransient(errors.New("flaky")), true},
+		{fmt.Errorf("wrap: %w", alist.MarkTransient(errors.New("flaky"))), true},
+		{io.ErrShortWrite, true},
+		{fmt.Errorf("wrap: %w", syscall.EINTR), true},
+		{syscall.EAGAIN, true},
+		{syscall.ENOSPC, false},
+	}
+	for i, c := range cases {
+		if got := alist.IsTransient(c.err); got != c.want {
+			t.Errorf("case %d (%v): IsTransient = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+	if alist.MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) should stay nil")
+	}
+}
+
+func TestRetryingDisabledIsPassthrough(t *testing.T) {
+	st := alist.NewMemStore(1, 1)
+	if got := alist.Retrying(st, alist.RetryPolicy{MaxAttempts: 1}); got != alist.Store(st) {
+		t.Error("MaxAttempts 1 should return the store unchanged")
+	}
+	if got := alist.Retrying(st, alist.RetryPolicy{}); got != alist.Store(st) {
+		t.Error("zero policy should return the store unchanged")
+	}
+}
+
+func TestRetryHealsTransientWrite(t *testing.T) {
+	fs := faultstore.New(seeded(t, 8), faultstore.Match(faultstore.OpWrite, 0, 2, faultstore.Transient))
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	recs := []alist.Record{{Tid: 100, Value: 1}, {Tid: 101, Value: 2}}
+	if err := st.WriteAt(0, 0, 0, recs); err != nil {
+		t.Fatalf("write should heal after two transient faults: %v", err)
+	}
+	if got := fs.OpCalls(faultstore.OpWrite); got != 3 {
+		t.Errorf("expected 3 write attempts, saw %d", got)
+	}
+	// The final attempt's data must be in place.
+	var tids []uint32
+	if err := st.Scan(0, 0, 0, 2, func(recs []alist.Record) error {
+		for i := range recs {
+			tids = append(tids, recs[i].Tid)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(tids) != 2 || tids[0] != 100 || tids[1] != 101 {
+		t.Errorf("healed write left wrong records: %v", tids)
+	}
+}
+
+func TestRetryHealsShortWrite(t *testing.T) {
+	fs := faultstore.New(seeded(t, 8), faultstore.Match(faultstore.OpWrite, 0, 1, faultstore.ShortWrite))
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	recs := make([]alist.Record, 8)
+	for i := range recs {
+		recs[i] = alist.Record{Tid: uint32(200 + i)}
+	}
+	if err := st.WriteAt(0, 0, 0, recs); err != nil {
+		t.Fatalf("full rewrite should heal the short write: %v", err)
+	}
+	var n int
+	if err := st.Scan(0, 0, 0, 8, func(recs []alist.Record) error {
+		for i := range recs {
+			if recs[i].Tid != uint32(200+n) {
+				t.Errorf("record %d: tid %d, want %d", n, recs[i].Tid, 200+n)
+			}
+			n++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+}
+
+func TestRetryGivesUpOnPermanentError(t *testing.T) {
+	fs := faultstore.New(seeded(t, 4), faultstore.Match(faultstore.OpWrite, 0, 1, faultstore.Fail))
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	err := st.WriteAt(0, 0, 0, []alist.Record{{Tid: 1}})
+	if !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("expected the injected error, got %v", err)
+	}
+	if got := fs.OpCalls(faultstore.OpWrite); got != 1 {
+		t.Errorf("permanent error must not be retried, saw %d attempts", got)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	fs := faultstore.New(seeded(t, 4), faultstore.Match(faultstore.OpReserve, 0, 0, faultstore.Transient))
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	_, err := st.Reserve(0, 0, 2)
+	if !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("expected the injected error after exhausting retries, got %v", err)
+	}
+	if !alist.IsTransient(err) {
+		t.Error("exhausted error should still read as transient to the caller")
+	}
+	if got := fs.OpCalls(faultstore.OpReserve); got != 3 {
+		t.Errorf("expected MaxAttempts=3 reserve attempts, saw %d", got)
+	}
+}
+
+func TestScanEntryFaultHealed(t *testing.T) {
+	fs := faultstore.New(seeded(t, 6), faultstore.Match(faultstore.OpScan, 0, 1, faultstore.Transient))
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	var n int
+	if err := st.Scan(0, 0, 0, 6, func(recs []alist.Record) error {
+		n += len(recs)
+		return nil
+	}); err != nil {
+		t.Fatalf("entry fault should heal with a clean restart: %v", err)
+	}
+	if n != 6 {
+		t.Errorf("callback saw %d records, want exactly 6 (no double delivery)", n)
+	}
+	if got := fs.OpCalls(faultstore.OpScan); got != 2 {
+		t.Errorf("expected 2 scan attempts, saw %d", got)
+	}
+}
+
+func TestScanMidFaultNotRetried(t *testing.T) {
+	// The fault fires after the first one-record chunk reached the callback:
+	// a restart would double-feed the accumulated state, so the retry layer
+	// must surface the error even though it is marked transient.
+	fs := faultstore.New(&chunker{Store: seeded(t, 6)},
+		faultstore.Rule{Op: faultstore.OpScan, Attr: faultstore.Any, Slot: faultstore.Any,
+			Count: 1, Mode: faultstore.Transient, Chunk: 2})
+	st := alist.Retrying(fs, alist.DefaultRetry())
+	var n int
+	err := st.Scan(0, 0, 0, 6, func(recs []alist.Record) error {
+		n += len(recs)
+		return nil
+	})
+	if !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("mid-scan fault must surface, got %v", err)
+	}
+	if got := fs.OpCalls(faultstore.OpScan); got != 1 {
+		t.Errorf("mid-scan fault must not be retried, saw %d attempts", got)
+	}
+	if n != 1 {
+		t.Errorf("callback saw %d records before the fault, want 1", n)
+	}
+}

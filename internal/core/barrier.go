@@ -9,13 +9,17 @@ import (
 
 // barrier is a reusable counting barrier for a fixed party count, the
 // synchronization point the paper draws as a horizontal bar between the E, W
-// and S phases.
+// and S phases. A barrier can be aborted: when a worker dies (panics) it can
+// never rejoin the protocol, so the panic-containment path breaks the
+// barrier rather than leave the surviving parties counting to a total that
+// will never be reached.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
 }
 
 // newBarrier creates a barrier for n parties.
@@ -25,10 +29,17 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-// wait blocks until all n parties have called wait, then releases them all.
-// The barrier is immediately reusable.
-func (b *barrier) wait() {
+// wait blocks until all n parties have called wait (true, barrier
+// immediately reusable) or the barrier is aborted (false — current waiters
+// wake, future waiters return immediately). A false return means the build
+// is being torn down and the caller must unwind without touching shared
+// level state.
+func (b *barrier) wait() bool {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return false
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -36,18 +47,62 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return true
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
+	}
+	ok := gen != b.gen
+	b.mu.Unlock()
+	return ok
+}
+
+// abort permanently breaks the barrier, waking every current waiter.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	if !b.broken {
+		b.broken = true
+		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
 }
 
 // timedWait is wait() with the stall recorded into the caller's lane at
 // (lvl, barrier) — how the schemes account inter-phase synchronization.
-func (b *barrier) timedWait(ln *trace.Lane, lvl int) {
+func (b *barrier) timedWait(ln *trace.Lane, lvl int) bool {
 	t0 := time.Now()
-	b.wait()
+	ok := b.wait()
 	ln.Add(lvl, trace.PhaseBarrier, time.Since(t0))
+	return ok
+}
+
+// barrierSet tracks every live barrier of a build so one teardown can break
+// them all. SUBTREE needs it: group barriers are created dynamically, and a
+// group delivered to some members after the abort must not strand them on a
+// fresh, unbroken barrier — add() breaks late arrivals itself once the set
+// is aborted.
+type barrierSet struct {
+	mu      sync.Mutex
+	bars    []*barrier
+	aborted bool
+}
+
+func (s *barrierSet) add(b *barrier) {
+	s.mu.Lock()
+	s.bars = append(s.bars, b)
+	aborted := s.aborted
+	s.mu.Unlock()
+	if aborted {
+		b.abort()
+	}
+}
+
+func (s *barrierSet) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	bars := s.bars
+	s.mu.Unlock()
+	for _, b := range bars {
+		b.abort()
+	}
 }

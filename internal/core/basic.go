@@ -54,7 +54,9 @@ func (e *engine) runBasic(root *leafState) error {
 				}
 				ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(frontier)))
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 
 			// W phase: the master alone finds winners and builds probes —
 			// the sequential bottleneck MWK later removes.
@@ -82,7 +84,9 @@ func (e *engine) runBasic(root *leafState) error {
 					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 
 			// S phase: dynamically grab attributes again and split.
 			for !ferr.failed() {
@@ -99,7 +103,9 @@ func (e *engine) runBasic(root *leafState) error {
 				}
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(frontier)))
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 
 			// Level bookkeeping by the master (slot resets are split-phase
 			// cleanup, so their cost lands in S with zero extra units).
@@ -130,7 +136,9 @@ func (e *engine) runBasic(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 			if done {
 				return
 			}
@@ -142,7 +150,9 @@ func (e *engine) runBasic(root *leafState) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker(id)
+			// A panicking worker can never rejoin the barrier protocol;
+			// breaking the barrier releases every surviving peer.
+			guard(&ferr, bar.abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()

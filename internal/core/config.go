@@ -137,10 +137,18 @@ type Config struct {
 	// Context, when non-nil, cancels the build: workers observe
 	// cancellation at work-unit granularity and Build returns ctx.Err().
 	Context context.Context
+	// Retry bounds the retry-with-backoff applied to transient store
+	// faults (see alist.Retrying). The zero value selects
+	// alist.DefaultRetry (3 attempts); MaxAttempts 1 disables retrying.
+	Retry alist.RetryPolicy
 
 	// storeOverride substitutes the attribute-list store; used by tests
 	// for fault injection.
 	storeOverride alist.Store
+	// storeWrap, when non-nil, wraps the store Build ends up with (created
+	// or overridden) before the retry layer is applied; used by chaos
+	// tests to inject faults beneath the retry path.
+	storeWrap func(alist.Store) alist.Store
 }
 
 // withDefaults fills zero fields with defaults and validates.
@@ -191,6 +199,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Trace != nil && c.Algorithm != Serial {
 		return c, fmt.Errorf("core: cost tracing requires Algorithm == Serial")
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = alist.DefaultRetry()
+	}
+	if c.Retry.MaxAttempts < 1 {
+		return c, fmt.Errorf("core: Retry.MaxAttempts must be >= 1, got %d", c.Retry.MaxAttempts)
 	}
 	if c.Recorder == nil {
 		c.Recorder = trace.NewRecorder(c.Procs)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,10 +70,45 @@ type engine struct {
 	nextChild atomic.Int64
 }
 
+// ErrWorkerPanic marks a build failure caused by a recovered panic in a
+// worker goroutine (or in the build goroutine itself for the serial
+// engine). The panic is contained: peers are released from every barrier,
+// condition wait and FREE-queue channel, temp storage is torn down, and
+// Build returns this error instead of crashing the process.
+var ErrWorkerPanic = errors.New("core: worker panic")
+
+// guard runs fn with panic containment for worker id: a panic is converted
+// into an ErrWorkerPanic on ferr, then teardown releases every
+// synchronization structure a peer could be blocked on (barriers, abort
+// channels, the FREE queue), so the surviving workers observe the failure
+// and unwind instead of waiting forever for the dead worker.
+func guard(ferr *errOnce, teardown func(), id int, fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			ferr.set(fmt.Errorf("%w: worker %d: %v\n%s", ErrWorkerPanic, id, p, debug.Stack()))
+			if teardown != nil {
+				teardown()
+			}
+		}
+	}()
+	fn()
+}
+
 // Build grows a decision tree over tbl according to cfg. It returns the
-// tree and the phase timing breakdown.
-func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
-	cfg, err := cfg.withDefaults()
+// tree and the phase timing breakdown. The named results let the cleanup
+// defers below fold teardown failures (store Close, temp-dir removal) and
+// recovered panics into the returned error.
+func Build(tbl *dataset.Table, cfg Config) (tr *tree.Tree, tm Timings, err error) {
+	// Registered first so it runs last: by the time a panic (the serial
+	// engine's, or one re-thrown during unwinding) reaches this recover,
+	// the store has been closed and the temp dir removed.
+	defer func() {
+		if p := recover(); p != nil {
+			tr = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrWorkerPanic, p, debug.Stack())
+		}
+	}()
+	cfg, err = cfg.withDefaults()
 	if err != nil {
 		return nil, Timings{}, err
 	}
@@ -101,33 +138,50 @@ func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
 		case Disk:
 			dir := cfg.TempDir
 			if dir == "" {
-				d, err := os.MkdirTemp("", "parclass-alist-")
-				if err != nil {
-					return nil, Timings{}, fmt.Errorf("core: creating temp dir: %w", err)
+				d, mkErr := os.MkdirTemp("", "parclass-alist-")
+				if mkErr != nil {
+					return nil, Timings{}, fmt.Errorf("core: creating temp dir: %w", mkErr)
 				}
 				dir = d
 				e.tmpDir = d
+				// Registered before the store constructors run, so a
+				// constructor failure can no longer leak the directory;
+				// LIFO defer order puts this removal after the store's
+				// Close below.
+				defer func() {
+					if rmErr := os.RemoveAll(d); rmErr != nil && err == nil {
+						tr = nil
+						err = fmt.Errorf("core: removing temp dir: %w", rmErr)
+					}
+				}()
 			}
 			if cfg.CombinedFiles {
-				st, err := alist.NewCombinedFileStore(dir, e.nattr, slots, e.ntuples)
-				if err != nil {
-					return nil, Timings{}, err
+				st, cErr := alist.NewCombinedFileStore(dir, e.nattr, slots, e.ntuples)
+				if cErr != nil {
+					return nil, Timings{}, cErr
 				}
 				e.store = st
 			} else {
-				st, err := alist.NewFileStore(dir, e.nattr, slots)
-				if err != nil {
-					return nil, Timings{}, err
+				st, cErr := alist.NewFileStore(dir, e.nattr, slots)
+				if cErr != nil {
+					return nil, Timings{}, cErr
 				}
 				e.store = st
 			}
 		}
 	}
+	if cfg.storeWrap != nil {
+		e.store = cfg.storeWrap(e.store)
+	}
+	// Transient store faults (interrupted syscalls, short writes, injected
+	// chaos faults) are healed in place by a bounded retry layer; permanent
+	// errors pass straight through to the engine error paths.
+	e.store = alist.Retrying(e.store, cfg.Retry)
 	e.bscan, _ = e.store.(alist.BufferedScanner)
 	defer func() {
-		e.store.Close()
-		if e.tmpDir != "" {
-			os.RemoveAll(e.tmpDir)
+		if cErr := e.store.Close(); cErr != nil && err == nil {
+			tr = nil
+			err = fmt.Errorf("core: closing store: %w", cErr)
 		}
 	}()
 
@@ -162,7 +216,7 @@ func Build(tbl *dataset.Table, cfg Config) (*tree.Tree, Timings, error) {
 		return nil, e.timings, err
 	}
 
-	tr := &tree.Tree{Root: root.node, Schema: e.schema}
+	tr = &tree.Tree{Root: root.node, Schema: e.schema}
 	renumber(tr)
 	if e.cfg.Trace != nil {
 		e.cfg.Trace.NAttrs = e.nattr
@@ -240,16 +294,20 @@ func (e *engine) setup() (*leafState, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
-					a := int(next.Add(1) - 1)
-					if a >= e.nattr || firstErr.failed() {
-						return
+				// No teardown: setup workers share no barriers, only the
+				// grab counter, so peers drain on firstErr alone.
+				guard(&firstErr, nil, w, func() {
+					for {
+						a := int(next.Add(1) - 1)
+						if a >= e.nattr || firstErr.failed() {
+							return
+						}
+						if err := fn(a); err != nil {
+							firstErr.set(err)
+							return
+						}
 					}
-					if err := fn(a); err != nil {
-						firstErr.set(err)
-						return
-					}
-				}
+				})
 			}()
 		}
 		wg.Wait()

@@ -68,7 +68,9 @@ func (e *engine) runFWK(root *leafState) error {
 					}
 				}
 				// End-of-block synchronization (one barrier per K-block).
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 
 				// S phase for the whole block, (leaf, attribute) units.
 				for _, l := range blk {
@@ -87,7 +89,9 @@ func (e *engine) runFWK(root *leafState) error {
 						}
 					}
 				}
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 			}
 
 			// Level bookkeeping by the master; slot recycling is accounted
@@ -101,7 +105,9 @@ func (e *engine) runFWK(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return
+			}
 			if done {
 				return
 			}
@@ -113,7 +119,9 @@ func (e *engine) runFWK(root *leafState) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker(id)
+			// A panicking worker can never rejoin the barrier protocol;
+			// breaking the barrier releases every surviving peer.
+			guard(&ferr, bar.abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()

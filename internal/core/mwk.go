@@ -118,7 +118,9 @@ func (e *engine) runMWK(root *leafState) error {
 				waitSig(doneCh[i], ln, lvl)
 				splitGrab(l, ln, lvl, sc)
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 
 			if id == 0 {
 				t0 := time.Now()
@@ -130,19 +132,29 @@ func (e *engine) runMWK(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 			if done {
 				return
 			}
 		}
 	}
 
+	// A panicking worker can neither close its pending leaf signals nor
+	// rejoin the barrier; releasing both structures lets the survivors
+	// observe ferr and unwind. Ordinary errors (fail above) keep the
+	// protocol alive instead, so the level ends through the normal path.
+	teardown := func() {
+		abortOnce.Do(func() { close(abort) })
+		bar.abort()
+	}
 	var wg sync.WaitGroup
 	for id := 0; id < P; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker(id)
+			guard(&ferr, teardown, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()

@@ -116,7 +116,9 @@ func (e *engine) runRecPar(root *leafState) error {
 							vals[id] = v
 							ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 						}
-						bar.timedWait(ln, lvl)
+						if !bar.timedWait(ln, lvl) {
+							return // build aborted by a dead worker's teardown
+						}
 						if !ferr.failed() {
 							t0 := time.Now()
 							// Prefix histogram and previous value (replicated
@@ -143,7 +145,9 @@ func (e *engine) runRecPar(root *leafState) error {
 							cands[id] = sc.cont.Finish()
 							ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 						}
-						bar.timedWait(ln, lvl)
+						if !bar.timedWait(ln, lvl) {
+							return // build aborted by a dead worker's teardown
+						}
 						if id == 0 && !ferr.failed() {
 							t0 := time.Now()
 							best := split.Candidate{}
@@ -167,7 +171,9 @@ func (e *engine) runRecPar(root *leafState) error {
 						}
 						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 					}
-					bar.timedWait(ln, lvl)
+					if !bar.timedWait(ln, lvl) {
+						return // build aborted by a dead worker's teardown
+					}
 					if id == 0 && !ferr.failed() {
 						t0 := time.Now()
 						for w := 1; w < P; w++ {
@@ -178,9 +184,13 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					// Close the unit before cats slots are reused by the
 					// next categorical attribute.
-					bar.timedWait(ln, lvl)
+					if !bar.timedWait(ln, lvl) {
+						return // build aborted by a dead worker's teardown
+					}
 				}
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 
 				// ---- W phase: chunk-parallel probe construction ----
 				if id == 0 && !ferr.failed() {
@@ -201,7 +211,9 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 				if l.win.Valid && !ferr.failed() {
 					t0 := time.Now()
 					best := l.win
@@ -246,7 +258,9 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 				if id == 0 && l.win.Valid && !ferr.failed() {
 					t0 := time.Now()
 					if err := e.finishRecParW(l, histL, histR, level); err != nil {
@@ -254,7 +268,9 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
-				bar.timedWait(ln, lvl)
+				if !bar.timedWait(ln, lvl) {
+					return // build aborted by a dead worker's teardown
+				}
 
 				// ---- S phase: one unit per attribute, chunk-parallel;
 				// two unconditional barriers per unit (see E phase note).
@@ -281,7 +297,9 @@ func (e *engine) runRecPar(root *leafState) error {
 						lefts[id] = nl
 						ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 					}
-					bar.timedWait(ln, lvl)
+					if !bar.timedWait(ln, lvl) {
+						return // build aborted by a dead worker's teardown
+					}
 					if !ferr.failed() {
 						t0 := time.Now()
 						// Disjoint output regions from the prefix sums.
@@ -295,10 +313,14 @@ func (e *engine) runRecPar(root *leafState) error {
 						}
 						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 					}
-					bar.timedWait(ln, lvl)
+					if !bar.timedWait(ln, lvl) {
+						return // build aborted by a dead worker's teardown
+					}
 				}
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 
 			if id == 0 {
 				t0 := time.Now()
@@ -325,7 +347,9 @@ func (e *engine) runRecPar(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			bar.timedWait(ln, lvl)
+			if !bar.timedWait(ln, lvl) {
+				return // build aborted by a dead worker's teardown
+			}
 			if done {
 				return
 			}
@@ -337,7 +361,9 @@ func (e *engine) runRecPar(root *leafState) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker(id)
+			// A panicking worker can never rejoin the barrier protocol;
+			// breaking the barrier releases every surviving peer.
+			guard(&ferr, bar.abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()

@@ -86,14 +86,17 @@ type stGroup struct {
 }
 
 // newStGroup builds a group, preparing the per-leaf signal channels when
-// the MWK subroutine is selected.
-func (e *engine) newStGroup(workers []int, frontier []*leafState,
+// the MWK subroutine is selected. The group barrier is registered with bs so
+// a teardown can break every live group at once; groups created after an
+// abort get an already-broken barrier.
+func (e *engine) newStGroup(bs *barrierSet, workers []int, frontier []*leafState,
 	readPair *sharedPair, writePair [2]int) *stGroup {
 	g := &stGroup{
 		workers: workers, frontier: frontier,
 		readPair: readPair, writePair: writePair,
 		bar: newBarrier(len(workers)),
 	}
+	bs.add(g.bar)
 	if e.cfg.SubtreeInner == MWK {
 		g.doneCh = makeSignals(len(frontier))
 	}
@@ -105,22 +108,42 @@ func (e *engine) newStGroup(workers []int, frontier []*leafState,
 // master. When every processor is idle the computation is over and the
 // queue broadcasts termination (a nil group) to all workers.
 type freeQueue struct {
-	mu    sync.Mutex
-	ids   []int
-	total int
-	chans []chan *stGroup
+	mu      sync.Mutex
+	ids     []int
+	total   int
+	chans   []chan *stGroup
+	abortCh chan struct{}
+	aborted bool
 }
 
 func newFreeQueue(total int, chans []chan *stGroup) *freeQueue {
-	return &freeQueue{total: total, chans: chans}
+	return &freeQueue{total: total, chans: chans, abortCh: make(chan struct{})}
+}
+
+// abort releases every worker blocked on its assignment channel: a dead
+// worker never joins the queue, so the count can no longer reach total and
+// the normal termination broadcast would never fire. Safe to call twice.
+func (q *freeQueue) abort() {
+	q.mu.Lock()
+	if !q.aborted {
+		q.aborted = true
+		close(q.abortCh)
+	}
+	q.mu.Unlock()
 }
 
 func (q *freeQueue) put(ids ...int) {
 	q.mu.Lock()
 	q.ids = append(q.ids, ids...)
-	if len(q.ids) == q.total {
+	if len(q.ids) == q.total && !q.aborted {
 		for _, ch := range q.chans {
-			ch <- nil
+			// A worker idle in the queue has an empty channel, so the
+			// buffered send cannot block; the default arm only guards
+			// against racing an abort.
+			select {
+			case ch <- nil:
+			default:
+			}
 		}
 	}
 	q.mu.Unlock()
@@ -154,6 +177,10 @@ func (e *engine) runSubtree(root *leafState) error {
 		chans[i] = make(chan *stGroup, 1)
 	}
 	fq := newFreeQueue(P, chans)
+	// Registry of every live group barrier, so a panicking worker's teardown
+	// can break them all: its own group's peers unblock from the level
+	// protocol, and unrelated groups unwind at their next barrier.
+	bs := &barrierSet{}
 	// Setup wrote the root lists into slot 0; slots {0,1} form the root's
 	// read pair and {2,3} are free.
 	pool := newSlotPool(e, 4)
@@ -163,7 +190,7 @@ func (e *engine) runSubtree(root *leafState) error {
 	if err != nil {
 		return err
 	}
-	g0 := e.newStGroup(identity(P), frontier,
+	g0 := e.newStGroup(bs, identity(P), frontier,
 		newSharedPair(pool, [2]int{0, 1}, 1), writePair)
 
 	var wg sync.WaitGroup
@@ -171,22 +198,30 @@ func (e *engine) runSubtree(root *leafState) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ln := e.rec.Lane(w)
-			sc := e.newScratch()
-			// Time spent blocked on the assignment channel is FREE-queue
-			// idleness, attributed to the last group's level (including
-			// the final wait for the termination signal).
-			lastLvl := 0
-			for {
-				t0 := time.Now()
-				g := <-chans[w]
-				ln.Add(lastLvl, trace.PhaseIdle, time.Since(t0))
-				if g == nil {
-					return
+			guard(&ferr, func() { bs.abort(); fq.abort() }, w, func() {
+				ln := e.rec.Lane(w)
+				sc := e.newScratch()
+				// Time spent blocked on the assignment channel is FREE-queue
+				// idleness, attributed to the last group's level (including
+				// the final wait for the termination signal).
+				lastLvl := 0
+				for {
+					t0 := time.Now()
+					var g *stGroup
+					select {
+					case g = <-chans[w]:
+					case <-fq.abortCh:
+						// A dead worker can never broadcast termination;
+						// the abort channel is the only way out.
+					}
+					ln.Add(lastLvl, trace.PhaseIdle, time.Since(t0))
+					if g == nil {
+						return
+					}
+					lastLvl = g.frontier[0].node.Level
+					e.subtreeMember(g, w, ln, lastLvl, sc, pool, fq, chans, bs, &ferr)
 				}
-				lastLvl = g.frontier[0].node.Level
-				e.subtreeMember(g, w, ln, lastLvl, sc, pool, fq, chans, &ferr)
-			}
+			})
 		}(w)
 	}
 	for _, w := range g0.workers {
@@ -208,14 +243,21 @@ func identity(n int) []int {
 // their assignment channel ("go to sleep") after the level; the master
 // performs the group transition.
 func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
-	sc *scratch, pool *slotPool, fq *freeQueue, chans []chan *stGroup, ferr *errOnce) {
+	sc *scratch, pool *slotPool, fq *freeQueue, chans []chan *stGroup,
+	bs *barrierSet, ferr *errOnce) {
 
 	isMaster := w == g.workers[0]
 
+	var ok bool
 	if e.cfg.SubtreeInner == MWK {
-		e.subtreeLevelMWK(g, isMaster, ln, lvl, sc, ferr)
+		ok = e.subtreeLevelMWK(g, isMaster, ln, lvl, sc, ferr)
 	} else {
-		e.subtreeLevelBasic(g, isMaster, ln, lvl, sc, ferr)
+		ok = e.subtreeLevelBasic(g, isMaster, ln, lvl, sc, ferr)
+	}
+	if !ok {
+		// Build aborted by a dead worker's teardown; the caller's loop
+		// exits through the queue's abort channel.
+		return
 	}
 
 	if !isMaster {
@@ -268,7 +310,7 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 			fq.put(procs...)
 			return
 		}
-		ng := e.newStGroup(procs, next, childRead, wp)
+		ng := e.newStGroup(bs, procs, next, childRead, wp)
 		for _, id := range ng.workers {
 			chans[id] <- ng
 		}
@@ -288,8 +330,8 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 		fq.put(procs...)
 		return
 	}
-	g1 := e.newStGroup(p1, l1, childRead, wp1)
-	g2 := e.newStGroup(p2, l2, childRead, wp2)
+	g1 := e.newStGroup(bs, p1, l1, childRead, wp1)
+	g2 := e.newStGroup(bs, p2, l2, childRead, wp2)
 	for _, id := range p1 {
 		chans[id] <- g1
 	}
@@ -300,8 +342,9 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 
 // subtreeLevelBasic runs one group level with the BASIC policy: dynamic
 // attribute units for E and S, the group master serially performing W.
+// It reports false when the group barrier was broken by an abort.
 func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, sc *scratch, ferr *errOnce) {
+	lvl int, sc *scratch, ferr *errOnce) bool {
 	for !ferr.failed() {
 		a := int(g.eCtr.Add(1) - 1)
 		if a >= e.nattr {
@@ -316,7 +359,9 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		}
 		ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(g.frontier)))
 	}
-	g.bar.timedWait(ln, lvl)
+	if !g.bar.timedWait(ln, lvl) {
+		return false
+	}
 
 	if isMaster && !ferr.failed() {
 		for _, l := range g.frontier {
@@ -339,7 +384,9 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 			ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 		}
 	}
-	g.bar.timedWait(ln, lvl)
+	if !g.bar.timedWait(ln, lvl) {
+		return false
+	}
 
 	for !ferr.failed() {
 		a := int(g.sCtr.Add(1) - 1)
@@ -355,7 +402,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		}
 		ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(g.frontier)))
 	}
-	g.bar.timedWait(ln, lvl)
+	return g.bar.timedWait(ln, lvl)
 }
 
 // subtreeLevelMWK runs one group level with the MWK policy — the hybrid the
@@ -363,9 +410,10 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 // per-leaf dynamic E units with the last finisher performing W (removing
 // the group master's serial W), opportunistic S, and a completion sweep.
 // Children still go to the group's private write pair, so the file scheme
-// is unchanged.
+// is unchanged. It reports false when the group barrier was broken by an
+// abort.
 func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, sc *scratch, ferr *errOnce) {
+	lvl int, sc *scratch, ferr *errOnce) bool {
 	K := e.cfg.WindowK
 	registerMWK := func(l *leafState) error {
 		if err := e.winnerAndProbe(l, sc); err != nil {
@@ -439,7 +487,7 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 		waitSig(g.doneCh[i])
 		splitGrab(l)
 	}
-	g.bar.timedWait(ln, lvl)
+	return g.bar.timedWait(ln, lvl)
 }
 
 // waitSubtreeSignal waits for a leaf-done signal, giving up after a bounded

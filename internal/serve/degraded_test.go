@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newBareServer starts an httptest server over s with no model loaded.
+func newBareServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// healthzDoc mirrors the /healthz body the degradation tests inspect.
+type healthzDoc struct {
+	Status   string                    `json:"status"`
+	Models   int                       `json:"models"`
+	Failures map[string]map[string]any `json:"failures"`
+}
+
+func getHealthz(t *testing.T, url string) (int, healthzDoc) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc healthzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc
+}
+
+// TestHealthzDegradedStillServing: a failed retrain of a model whose older
+// version still serves must flip the status to "degraded" but keep the
+// probe at 200, so orchestrators do not kill a working replica.
+func TestHealthzDegradedStillServing(t *testing.T) {
+	m := trainModel(t, 1, 500)
+	s, ts := newTestServer(t, m)
+
+	if code, doc := getHealthz(t, ts.URL); code != 200 || doc.Status != "ok" || doc.Models != 1 {
+		t.Fatalf("healthy baseline: code %d, doc %+v", code, doc)
+	}
+
+	s.RecordFailure("default", errors.New("retrain blew up"))
+	code, doc := getHealthz(t, ts.URL)
+	if code != 200 {
+		t.Fatalf("degraded-but-serving must stay 200, got %d", code)
+	}
+	if doc.Status != "degraded" || doc.Models != 1 {
+		t.Fatalf("doc = %+v, want degraded with 1 serving model", doc)
+	}
+	if f := doc.Failures["default"]; f == nil || f["error"] != "retrain blew up" {
+		t.Fatalf("failures = %v, want the recorded error", doc.Failures)
+	}
+
+	// The prediction path must be unaffected.
+	var pr predictResponse
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25")}, &pr); code != 200 {
+		t.Fatalf("predict during degradation: status %d", code)
+	}
+
+	// A successful reload clears the degraded state.
+	if _, err := s.Load("default", m, "reload"); err != nil {
+		t.Fatal(err)
+	}
+	if code, doc := getHealthz(t, ts.URL); code != 200 || doc.Status != "ok" || len(doc.Failures) != 0 {
+		t.Fatalf("after reload: code %d, doc %+v", code, doc)
+	}
+}
+
+// TestHealthzUnhealthyWhenNothingServes: a failure for a name with no
+// published model at all makes the probe unhealthy (503).
+func TestHealthzUnhealthyWhenNothingServes(t *testing.T) {
+	s := New("")
+	ts := newBareServer(t, s)
+
+	s.RecordFailure("", errors.New("initial training failed"))
+	code, doc := getHealthz(t, ts)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failed name with no serving model must 503, got %d", code)
+	}
+	if doc.Status != "degraded" || doc.Models != 0 {
+		t.Fatalf("doc = %+v, want degraded with 0 models", doc)
+	}
+
+	// Loading the model repairs the probe.
+	m := trainModel(t, 1, 500)
+	if _, err := s.Load("default", m, "late train"); err != nil {
+		t.Fatal(err)
+	}
+	if code, doc := getHealthz(t, ts); code != 200 || doc.Status != "ok" || doc.Models != 1 {
+		t.Fatalf("after late load: code %d, doc %+v", code, doc)
+	}
+}
+
+// TestMetricsCarriesFailure: /metrics reports Degraded plus the per-model
+// last error until a successful reload clears it.
+func TestMetricsCarriesFailure(t *testing.T) {
+	m := trainModel(t, 1, 500)
+	s, ts := newTestServer(t, m)
+
+	s.RecordFailure("default", errors.New("oom during retrain"))
+	var snap metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !snap.Degraded {
+		t.Error("metrics should report Degraded")
+	}
+	mc := snap.Models["default"]
+	if mc.LastError != "oom during retrain" || mc.LastErrorAt.IsZero() {
+		t.Fatalf("model counters = %+v, want the recorded failure", mc)
+	}
+
+	if _, err := s.Load("default", m, "reload"); err != nil {
+		t.Fatal(err)
+	}
+	snap = metricsSnapshot{}
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Degraded || snap.Models["default"].LastError != "" {
+		t.Fatalf("reload must clear the failure, got %+v", snap.Models["default"])
+	}
+}

@@ -56,6 +56,15 @@ type slot struct {
 	ptr         atomic.Pointer[loadedModel]
 	predictions atomic.Int64
 	swaps       atomic.Int64
+	// failure is the last failed training/load attempt, nil when healthy;
+	// a successful Load clears it.
+	failure atomic.Pointer[trainFailure]
+}
+
+// trainFailure records one failed training or load attempt for a model name.
+type trainFailure struct {
+	msg string
+	at  time.Time
 }
 
 // Server serves predictions over a registry of named models. Create with
@@ -102,7 +111,23 @@ func (s *Server) Load(name string, m *parclass.Model, source string) (swapped bo
 	sl := s.slot(name, true)
 	old := sl.ptr.Swap(&loadedModel{model: m, loadedAt: time.Now(), source: source})
 	sl.swaps.Add(1)
+	sl.failure.Store(nil) // a successful load ends the degraded state
 	return old != nil, nil
+}
+
+// RecordFailure records a failed training or load attempt for name: GET
+// /healthz reports the server degraded — 503 when the name has no serving
+// model at all, 200 when an older version still serves — and GET /metrics
+// carries the error until a later Load of the same name succeeds.
+func (s *Server) RecordFailure(name string, err error) {
+	if err == nil {
+		return
+	}
+	if name == "" {
+		name = s.defaultModel
+	}
+	sl := s.slot(name, true)
+	sl.failure.Store(&trainFailure{msg: err.Error(), at: time.Now()})
 }
 
 // slot returns name's registry entry, creating it when create is set.
@@ -285,14 +310,44 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.health.requests.Add(1)
+	published := 0
+	failures := make(map[string]any)
+	unserved := false
 	s.mu.RLock()
-	n := len(s.models)
+	for name, sl := range s.models {
+		cur := sl.ptr.Load()
+		if cur != nil {
+			published++
+		}
+		if f := sl.failure.Load(); f != nil {
+			failures[name] = map[string]any{"error": f.msg, "at": f.at}
+			if cur == nil {
+				unserved = true
+			}
+		}
+	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"models":         n,
+	// Degradation policy: any recorded failure flips the status to
+	// "degraded"; the probe only turns unhealthy (503) when a failed name
+	// has no serving model at all — a failed retrain of a model that still
+	// serves its previous version keeps answering 200 so orchestrators do
+	// not kill a working replica.
+	status, code := "ok", http.StatusOK
+	if len(failures) > 0 {
+		status = "degraded"
+		if unserved {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	body := map[string]any{
+		"status":         status,
+		"models":         published,
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
-	})
+	}
+	if len(failures) > 0 {
+		body["failures"] = failures
+	}
+	writeJSON(w, code, body)
 }
 
 // metricsSnapshot is the GET /metrics document.
@@ -302,7 +357,10 @@ type metricsSnapshot struct {
 	PredictionsTotal int64                    `json:"predictions_total"`
 	PredictLatencyUS histogramSnapshot        `json:"predict_latency_us"`
 	PredictBatchRows histogramSnapshot        `json:"predict_batch_rows"`
-	Models           map[string]modelCounters `json:"models"`
+	// Degraded mirrors /healthz: true while any model carries an uncleared
+	// training/load failure.
+	Degraded bool                     `json:"degraded"`
+	Models   map[string]modelCounters `json:"models"`
 	// Build is present when a BuildMonitor is attached: the training run's
 	// state and per-phase gauges, live while the build is in progress.
 	Build *buildStatus `json:"build,omitempty"`
@@ -348,6 +406,10 @@ type modelCounters struct {
 	Swaps       int64     `json:"swaps"`
 	LoadedAt    time.Time `json:"loaded_at"`
 	Source      string    `json:"source,omitempty"`
+	// LastError/LastErrorAt carry the model's uncleared training or load
+	// failure, empty while healthy.
+	LastError   string    `json:"last_error,omitempty"`
+	LastErrorAt time.Time `json:"last_error_at,omitzero"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -379,6 +441,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if cur := sl.ptr.Load(); cur != nil {
 			mc.LoadedAt = cur.loadedAt
 			mc.Source = cur.source
+		}
+		if f := sl.failure.Load(); f != nil {
+			mc.LastError = f.msg
+			mc.LastErrorAt = f.at
+			snap.Degraded = true
 		}
 		snap.Models[name] = mc
 	}
