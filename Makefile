@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test alloc-check race chaos bench benchcmp gobench serve-bench
+.PHONY: verify build vet fmt-check test alloc-check race chaos bench benchcmp gobench serve-bench servebench
 
 verify: build vet fmt-check test alloc-check race chaos
 
@@ -56,3 +56,9 @@ gobench:
 # The serving hot-path trio: pointer loop vs flat walk vs sharded batch.
 serve-bench:
 	$(GO) test -run xxx -bench 'BenchmarkPredict(Pointer|Flat|BatchParallel)' .
+
+# End-to-end serving throughput: loadgen's driver against an in-process
+# server in three configurations (inline, micro-batched, open-loop
+# overload), appended to BENCH_build.json as "serve_runs".
+servebench:
+	$(GO) run ./cmd/benchjson -serve -out BENCH_build.json

@@ -1,51 +1,33 @@
 // Command loadgen drives a running parclassd with synthetic prediction
-// traffic and reports latency percentiles and throughput — the measuring
-// third of the train→serve→measure loop.
+// traffic and reports latency percentiles, throughput and shed rate — the
+// measuring third of the train→serve→measure loop (the driver itself lives
+// in internal/loadtest, shared with `benchjson -serve`).
 //
-// It fetches GET /model/{name} to learn the model's schema, synthesizes
-// random rows over that schema (continuous values uniform over a wide
-// range, categorical values uniform over the category names), and fans
-// POST /predict requests out over -concurrency workers with -batch rows
-// per request, for -duration (or exactly -requests requests).
+// It fetches GET /v1/model/{name} to learn the model's schema, synthesizes
+// random rows over that schema, and sends POST /v1/predict requests either
+// closed-loop (-concurrency workers, each one request in flight) or
+// open-loop (-arrival N requests/second on a fixed schedule, independent
+// of completions). The open-loop mode is the one that can overload the
+// server: past capacity, a server with admission control sheds requests
+// with 429 — reported here as the shed rate — instead of queueing without
+// bound.
 //
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -concurrency 8 -batch 64 -duration 10s
+//	loadgen -positional -batch 16                      # the server's fast path
+//	loadgen -arrival 2000 -batch 16 -duration 10s      # open loop, 2000 req/s
+//	loadgen -no-batch                                  # opt out of micro-batching
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"math/rand"
-	"net/http"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/loadtest"
 )
-
-// modelInfo mirrors the fields of serve.ModelInfo loadgen needs.
-type modelInfo struct {
-	Classes []string `json:"classes"`
-	Attrs   []struct {
-		Name       string   `json:"name"`
-		Kind       string   `json:"kind"`
-		Categories []string `json:"categories"`
-	} `json:"attrs"`
-}
-
-type predictRequest struct {
-	Model      string              `json:"model,omitempty"`
-	Rows       []map[string]string `json:"rows,omitempty"`
-	Row        map[string]string   `json:"row,omitempty"`
-	Values     []string            `json:"values,omitempty"`
-	ValuesRows [][]string          `json:"values_rows,omitempty"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -53,161 +35,61 @@ func main() {
 	var (
 		baseURL     = flag.String("url", "http://localhost:8080", "parclassd base URL")
 		model       = flag.String("model", "default", "model name to drive")
-		concurrency = flag.Int("concurrency", 4, "concurrent request workers")
+		concurrency = flag.Int("concurrency", 4, "concurrent request workers (closed loop)")
 		batch       = flag.Int("batch", 32, "rows per request (1 sends single-row requests)")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to run")
 		requests    = flag.Int("requests", 0, "stop after exactly this many requests (overrides -duration)")
 		seed        = flag.Int64("seed", 1, "row generator seed")
 		positional  = flag.Bool("positional", false,
 			"send positional values/values_rows instead of name→value maps (the server's fast path)")
+		arrival = flag.Float64("arrival", 0,
+			"open-loop arrival rate in requests/second (0 = closed loop); past server capacity this measures shedding")
+		noBatch = flag.Bool("no-batch", false,
+			`set "no_batch" on every request so the server skips micro-batch coalescing`)
 	)
 	flag.Parse()
 
-	var info modelInfo
-	if err := fetchJSON(*baseURL+"/model/"+*model, &info); err != nil {
+	cfg := loadtest.Config{
+		BaseURL:     *baseURL,
+		Model:       *model,
+		Concurrency: *concurrency,
+		Batch:       *batch,
+		Positional:  *positional,
+		NoBatch:     *noBatch,
+		Duration:    *duration,
+		Requests:    *requests,
+		ArrivalRate: *arrival,
+		Seed:        *seed,
+	}
+	info, err := loadtest.FetchSchema(*baseURL, *model)
+	if err != nil {
 		log.Fatalf("fetching model schema: %v", err)
 	}
-	if len(info.Attrs) == 0 {
-		log.Fatalf("model %q exposes no attributes", *model)
+	mode := fmt.Sprintf("closed loop, concurrency=%d", *concurrency)
+	if *arrival > 0 {
+		mode = fmt.Sprintf("open loop, arrival=%.0f req/s", *arrival)
 	}
-	log.Printf("driving %s model=%s: %d attrs, %d classes, batch=%d, concurrency=%d",
-		*baseURL, *model, len(info.Attrs), len(info.Classes), *batch, *concurrency)
+	log.Printf("driving %s model=%s: %d attrs, %d classes, batch=%d, %s",
+		*baseURL, *model, len(info.Attrs), len(info.Classes), *batch, mode)
 
-	var (
-		wg        sync.WaitGroup
-		sent      atomic.Int64
-		rowsDone  atomic.Int64
-		errCount  atomic.Int64
-		latencies = make([][]time.Duration, *concurrency)
-	)
-	deadline := time.Now().Add(*duration)
-	budget := int64(*requests)
-	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			client := &http.Client{Timeout: 30 * time.Second}
-			for {
-				if budget > 0 {
-					if sent.Add(1) > budget {
-						return
-					}
-				} else if time.Now().After(deadline) {
-					return
-				}
-				req := predictRequest{Model: *model}
-				switch {
-				case *positional && *batch <= 1:
-					req.Values = randomValues(rng, &info)
-				case *positional:
-					req.ValuesRows = make([][]string, *batch)
-					for i := range req.ValuesRows {
-						req.ValuesRows[i] = randomValues(rng, &info)
-					}
-				case *batch <= 1:
-					req.Row = randomRow(rng, &info)
-				default:
-					req.Rows = make([]map[string]string, *batch)
-					for i := range req.Rows {
-						req.Rows[i] = randomRow(rng, &info)
-					}
-				}
-				body, _ := json.Marshal(req)
-				t0 := time.Now()
-				resp, err := client.Post(*baseURL+"/predict", "application/json", bytes.NewReader(body))
-				if err != nil {
-					errCount.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errCount.Add(1)
-					continue
-				}
-				latencies[w] = append(latencies[w], time.Since(t0))
-				n := *batch
-				if n < 1 {
-					n = 1
-				}
-				rowsDone.Add(int64(n))
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	if len(all) == 0 {
-		log.Fatalf("no successful requests (%d errors)", errCount.Load())
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	var sum time.Duration
-	for _, d := range all {
-		sum += d
-	}
-	pct := func(p float64) time.Duration {
-		i := int(p/100*float64(len(all))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(all) {
-			i = len(all) - 1
-		}
-		return all[i]
-	}
-	fmt.Printf("requests: %d ok, %d errors in %v\n", len(all), errCount.Load(), elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput: %s rows/s (%s req/s)\n",
-		fmtRate(float64(rowsDone.Load())/elapsed.Seconds()),
-		fmtRate(float64(len(all))/elapsed.Seconds()))
-	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n",
-		(sum / time.Duration(len(all))).Round(time.Microsecond),
-		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
-		pct(99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
-}
-
-// randomValues synthesizes one positional row in schema attribute order.
-func randomValues(rng *rand.Rand, info *modelInfo) []string {
-	vals := make([]string, len(info.Attrs))
-	for i, a := range info.Attrs {
-		if a.Kind == "categorical" && len(a.Categories) > 0 {
-			vals[i] = a.Categories[rng.Intn(len(a.Categories))]
-		} else {
-			vals[i] = strconv.FormatFloat(rng.Float64()*200000, 'g', -1, 64)
-		}
-	}
-	return vals
-}
-
-// randomRow synthesizes one row the model's schema accepts.
-func randomRow(rng *rand.Rand, info *modelInfo) map[string]string {
-	row := make(map[string]string, len(info.Attrs))
-	for _, a := range info.Attrs {
-		if a.Kind == "categorical" && len(a.Categories) > 0 {
-			row[a.Name] = a.Categories[rng.Intn(len(a.Categories))]
-		} else {
-			row[a.Name] = strconv.FormatFloat(rng.Float64()*200000, 'g', -1, 64)
-		}
-	}
-	return row
-}
-
-func fetchJSON(url string, out any) error {
-	resp, err := http.Get(url)
+	res, err := loadtest.Run(cfg)
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	if res.OK == 0 {
+		log.Fatalf("no successful requests (%d shed, %d errors)", res.Shed, res.Errors)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	fmt.Printf("requests: %d ok, %d shed (429), %d errors in %v\n",
+		res.OK, res.Shed, res.Errors, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %s rows/s (%s req/s ok)\n",
+		fmtRate(res.RowsPerSec()), fmtRate(res.ReqPerSec()))
+	if res.Shed > 0 {
+		fmt.Printf("shed rate: %.1f%% of attempted requests\n", 100*res.ShedRate())
+	}
+	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		res.Mean().Round(time.Microsecond),
+		res.Pct(50).Round(time.Microsecond), res.Pct(95).Round(time.Microsecond),
+		res.Pct(99).Round(time.Microsecond), res.Max().Round(time.Microsecond))
 }
 
 func fmtRate(v float64) string {

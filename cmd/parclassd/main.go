@@ -15,6 +15,12 @@
 // internal/serve. Training runs attach a build monitor, so GET /metrics
 // carries a "build" section with the run's per-phase breakdown — live
 // while -background-train is still growing the tree.
+//
+// Predict requests are micro-batched by default: concurrent requests
+// coalesce (-batch-rows rows / -batch-linger window) into single sharded
+// flat-tree walks behind a bounded admission queue (-queue-depth) that
+// sheds overload with 429 + Retry-After; -batch-rows 0 disables it. The
+// predict body cap is -predict-max-bytes (413 past it).
 package main
 
 import (
@@ -50,6 +56,14 @@ func main() {
 		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
 		bgTrain   = flag.Bool("background-train", false,
 			"start serving before training finishes; watch the build live on /metrics")
+		batchRows = flag.Int("batch-rows", serve.DefaultBatchMaxRows,
+			"micro-batcher window: flush after this many coalesced rows (0 disables server-side batching)")
+		batchLinger = flag.Duration("batch-linger", serve.DefaultBatchLinger,
+			"micro-batcher window: flush this long after the first queued request")
+		queueDepth = flag.Int("queue-depth", serve.DefaultBatchQueueDepth,
+			"predict admission queue capacity in requests; a full queue sheds with 429 + Retry-After")
+		predictMaxBytes = flag.Int64("predict-max-bytes", serve.DefaultPredictMaxBytes,
+			"POST /predict body cap in bytes (oversized bodies answer 413)")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
 			"time limit for reading a request's headers (0 = none; Slowloris guard)")
 		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
@@ -64,6 +78,18 @@ func main() {
 	mon := parclass.NewBuildMonitor()
 	s := serve.New(*name)
 	s.SetBuildMonitor(mon)
+	s.SetPredictMaxBytes(*predictMaxBytes)
+	if *batchRows > 0 {
+		if err := s.EnableBatching(serve.BatchConfig{
+			MaxRows:    *batchRows,
+			Linger:     *batchLinger,
+			QueueDepth: *queueDepth,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("micro-batching: up to %d rows per dispatch, %v linger, queue depth %d",
+			*batchRows, *batchLinger, *queueDepth)
+	}
 
 	train := func() error {
 		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *doPrune, mon)
@@ -122,6 +148,8 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// Stop the micro-batcher's dispatcher after the listener drains.
+	s.Close()
 }
 
 // buildModel trains or loads the initial model and describes its origin.

@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postRaw posts a raw body and returns status + decoded JSON error (if any).
+func postRaw(t testing.TB, url, body string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]string
+	json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+// TestPredictBodyCap413 checks the predict route has its own small body
+// cap (not the 256 MiB model-upload cap) and maps http.MaxBytesError to
+// 413 with the JSON error contract.
+func TestPredictBodyCap413(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	s, ts := newTestServer(t, m)
+	s.SetPredictMaxBytes(1 << 10)
+
+	big := fmt.Sprintf(`{"row":{"pad":%q}}`, strings.Repeat("x", 4<<10))
+	code, doc := postRaw(t, ts.URL+"/v1/predict", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", code)
+	}
+	if !strings.Contains(doc["error"], "1024") {
+		t.Fatalf("413 body %q does not name the cap", doc["error"])
+	}
+	// Under the cap still works.
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25")}, nil); code != 200 {
+		t.Fatalf("small body status %d, want 200", code)
+	}
+	// Restoring the default widens the cap again.
+	s.SetPredictMaxBytes(0)
+	if code, _ := postRaw(t, ts.URL+"/v1/predict", big); code == http.StatusRequestEntityTooLarge {
+		t.Fatal("default cap rejected a 4 KiB body")
+	}
+}
+
+// TestTrailingGarbageRejected checks the second-Decode-must-EOF rule on
+// both JSON-accepting routes: a concatenated document is 400, trailing
+// whitespace is fine.
+func TestTrailingGarbageRejected(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	_, ts := newTestServer(t, m)
+
+	row, _ := json.Marshal(predictRequest{Row: sampleRow("25")})
+	code, doc := postRaw(t, ts.URL+"/v1/predict", string(row)+`{"junk":1}`)
+	if code != http.StatusBadRequest || !strings.Contains(doc["error"], "trailing") {
+		t.Fatalf("trailing garbage: status %d body %v, want 400 trailing", code, doc)
+	}
+	if code, _ := postRaw(t, ts.URL+"/v1/predict", string(row)+"\n\t "); code != 200 {
+		t.Fatalf("trailing whitespace status %d, want 200", code)
+	}
+
+	// Model swap: a valid model document followed by junk must not be
+	// half-accepted.
+	mb := modelBytes(t, m)
+	resp, err := http.Post(ts.URL+"/v1/models/garbage", "application/json",
+		bytes.NewReader(append(append([]byte{}, mb...), []byte(`{"junk":1}`)...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("model swap trailing garbage status %d, want 400", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/model/garbage", nil); code != 404 {
+		t.Fatalf("garbage upload registered a model (info status %d, want 404)", code)
+	}
+	// Trailing whitespace after the model document is accepted.
+	resp, err = http.Post(ts.URL+"/v1/models/ok", "application/json",
+		bytes.NewReader(append(append([]byte{}, mb...), '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("model swap trailing newline status %d, want 200", resp.StatusCode)
+	}
+}
+
+// enableBatching turns the micro-batcher on for a test server and stops it
+// at cleanup.
+func enableBatching(t testing.TB, s *Server, cfg BatchConfig) *batcher {
+	t.Helper()
+	if err := s.EnableBatching(cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s.batch.Load()
+}
+
+// TestBatchedPredictMatchesInline drives every request form through the
+// micro-batcher and checks predictions and error attribution are identical
+// to the inline path.
+func TestBatchedPredictMatchesInline(t *testing.T) {
+	m := trainModel(t, 1, 2000)
+	s, ts := newTestServer(t, m)
+	enableBatching(t, s, BatchConfig{})
+
+	// Single row form.
+	var single predictResponse
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25")}, &single); code != 200 {
+		t.Fatalf("batched single status %d", code)
+	}
+	want, err := m.Predict(sampleRow("25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Prediction != want || single.Rows != 1 {
+		t.Fatalf("batched single = %+v, want %q", single, want)
+	}
+
+	// Positional batch form.
+	vrows := [][]string{sampleValues(m, "25"), sampleValues(m, "50"), sampleValues(m, "70")}
+	var batch predictResponse
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{ValuesRows: vrows}, &batch); code != 200 {
+		t.Fatalf("batched values_rows status %d", code)
+	}
+	if batch.Rows != 3 || len(batch.Predictions) != 3 {
+		t.Fatalf("batched values_rows = %+v", batch)
+	}
+	for i, vals := range vrows {
+		w, err := m.PredictValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Predictions[i] != w {
+			t.Fatalf("row %d: batched %q, direct %q", i, batch.Predictions[i], w)
+		}
+	}
+
+	// Unknown model resolves at dispatch time, still 404.
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "nope", Row: sampleRow("25")}, nil); code != 404 {
+		t.Fatalf("batched unknown model status %d, want 404", code)
+	}
+
+	// Per-row error attribution survives coalescing: a bad value at row 2
+	// fails only with "row 2:", regardless of batching.
+	bad := [][]string{sampleValues(m, "25"), sampleValues(m, "50"), nil}
+	bad[2] = append([]string(nil), sampleValues(m, "70")...)
+	schema := m.Tree().Schema
+	for a := range schema.Attrs {
+		if schema.Attrs[a].Name == "car" {
+			bad[2][a] = "spaceship"
+		}
+	}
+	for _, noBatch := range []bool{false, true} {
+		body, _ := json.Marshal(predictRequest{ValuesRows: bad, NoBatch: noBatch})
+		code, doc := postRaw(t, ts.URL+"/v1/predict", string(body))
+		if code != 422 {
+			t.Fatalf("no_batch=%v bad row status %d, want 422", noBatch, code)
+		}
+		if !strings.Contains(doc["error"], "row 2:") {
+			t.Fatalf("no_batch=%v error %q does not name row 2", noBatch, doc["error"])
+		}
+	}
+}
+
+// TestQueueFullSheds429 makes admission control deterministic with the
+// dispatcher's exec gate: with the dispatcher blocked mid-flush and the
+// queue (capacity 1) occupied, the next request must shed with 429 and a
+// Retry-After header — and the parked requests must complete once the gate
+// opens.
+func TestQueueFullSheds429(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	s, ts := newTestServer(t, m)
+	gateEntered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	b := enableBatching(t, s, BatchConfig{MaxRows: 1, Linger: time.Millisecond, QueueDepth: 1})
+	b.holdExec = func() { gateEntered <- struct{}{}; <-gate }
+
+	body, _ := json.Marshal(predictRequest{Row: sampleRow("25")})
+	type result struct {
+		code int
+		err  error
+	}
+	results := make(chan result, 2)
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		results <- result{code: resp.StatusCode}
+	}
+	// First request: dequeued by the dispatcher, which parks at the gate.
+	go post()
+	<-gateEntered
+	// Second request: admitted, parked in the queue (capacity 1 → full).
+	go post()
+	waitFor(t, func() bool { return len(b.ch) == 1 })
+
+	// Third request: the queue is full — shed.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]string
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
+	}
+	if doc["error"] == "" {
+		t.Fatal("429 response missing JSON error body")
+	}
+	if s.met.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.met.shed.Load())
+	}
+
+	// Open the gate: both parked requests complete normally.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil || r.code != 200 {
+			t.Fatalf("parked request %d: code %d err %v", i, r.code, r.err)
+		}
+	}
+
+	// The metrics document carries the shed and the knobs.
+	var snap metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	bs := snap.Batching
+	if bs == nil {
+		t.Fatal("metrics missing batching section")
+	}
+	if bs.ShedTotal != 1 || bs.QueueCap != 1 || bs.MaxRows != 1 || bs.BatchesTotal < 2 {
+		t.Fatalf("batching section = %+v", bs)
+	}
+}
+
+// waitFor polls cond for up to a second.
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 1s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNoBatchBypassesQueue proves the per-request toggle: with the
+// dispatcher gated and the queue full, a no_batch request still answers
+// 200 inline.
+func TestNoBatchBypassesQueue(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	s, ts := newTestServer(t, m)
+	gateEntered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	defer close(gate)
+	b := enableBatching(t, s, BatchConfig{MaxRows: 1, Linger: time.Millisecond, QueueDepth: 1})
+	b.holdExec = func() { gateEntered <- struct{}{}; <-gate }
+
+	body, _ := json.Marshal(predictRequest{Row: sampleRow("25")})
+	// Fill dispatcher + queue: one request parked at the gate, one queued.
+	for i := 0; i < 2; i++ {
+		go http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(append([]byte{}, body...)))
+	}
+	<-gateEntered
+	waitFor(t, func() bool { return len(b.ch) == 1 })
+
+	var out predictResponse
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25"), NoBatch: true}, &out); code != 200 {
+		t.Fatalf("no_batch status %d with gated dispatcher, want 200", code)
+	}
+	if out.Prediction == "" {
+		t.Fatalf("no_batch response %+v has no prediction", out)
+	}
+}
+
+// TestBatchingMetricsCoalescing checks concurrent requests actually fold
+// into shared dispatches: with a generous linger, 8 concurrent positional
+// requests must produce fewer batches than requests.
+func TestBatchingMetricsCoalescing(t *testing.T) {
+	m := trainModel(t, 1, 2000)
+	s, ts := newTestServer(t, m)
+	enableBatching(t, s, BatchConfig{MaxRows: 512, Linger: 20 * time.Millisecond, QueueDepth: 64})
+
+	const reqs = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, reqs)
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vrows := [][]string{sampleValues(m, "25"), sampleValues(m, "50")}
+			body, _ := json.Marshal(predictRequest{ValuesRows: vrows})
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errc <- fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	var snap metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	bs := snap.Batching
+	if bs == nil {
+		t.Fatal("metrics missing batching section")
+	}
+	if bs.BatchesTotal < 1 || bs.BatchesTotal >= reqs {
+		t.Fatalf("batches_total = %d for %d concurrent requests, want coalescing (1..%d)",
+			bs.BatchesTotal, reqs, reqs-1)
+	}
+	if got := bs.CoalescedRows.Count; got != bs.BatchesTotal {
+		t.Fatalf("coalesced_rows count %d != batches_total %d", got, bs.BatchesTotal)
+	}
+	if snap.PredictionsTotal != 2*reqs {
+		t.Fatalf("predictions_total = %d, want %d", snap.PredictionsTotal, 2*reqs)
+	}
+}
+
+// TestBatchedPredictHotSwapRace is the batched analogue of
+// TestHotSwapUnderLoad (run under -race via make race): workers hammer the
+// micro-batched predict path with positional batches and map rows while
+// the model is continuously hot-swapped. Every request must succeed with a
+// prediction valid under one of the two versions.
+func TestBatchedPredictHotSwapRace(t *testing.T) {
+	mA := trainModel(t, 1, 2000)
+	mB := trainModel(t, 7, 2000)
+	s, ts := newTestServer(t, mA)
+	enableBatching(t, s, BatchConfig{MaxRows: 64, Linger: 500 * time.Microsecond, QueueDepth: 512})
+	bodyA, bodyB := modelBytes(t, mA), modelBytes(t, mB)
+
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				age := strconv.Itoa(20 + rng.Intn(60))
+				var req predictRequest
+				if i%2 == 0 {
+					req.ValuesRows = [][]string{sampleValues(mA, age), sampleValues(mA, "33")}
+				} else {
+					req.Rows = []map[string]string{sampleRow(age), sampleRow("71")}
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					errc <- fmt.Errorf("worker %d req %d: status %d err %v", w, i, resp.StatusCode, err)
+					return
+				}
+				for _, p := range out.Predictions {
+					if p != "GroupA" && p != "GroupB" {
+						errc <- fmt.Errorf("worker %d: impossible class %q", w, p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			body := bodyA
+			if i%2 == 0 {
+				body = bodyB
+			}
+			resp, err := http.Post(ts.URL+"/v1/models/default", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errc <- fmt.Errorf("swap %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	var snap metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if got := snap.Requests["predict"]; got.Errors != 0 || got.Requests != workers*perWorker {
+		t.Fatalf("predict route after batched swap storm = %+v", got)
+	}
+}
+
+// TestCloseFailsQueuedAndFallsBackInline checks shutdown semantics: Close
+// stops the dispatcher, and later predicts run inline (still 200).
+func TestCloseFailsQueuedAndFallsBackInline(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	s, ts := newTestServer(t, m)
+	if err := s.EnableBatching(BatchConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableBatching(BatchConfig{}); err == nil {
+		t.Fatal("double EnableBatching did not error")
+	}
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25")}, nil); code != 200 {
+		t.Fatalf("batched predict status %d", code)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if code := postJSON(t, ts.URL+"/v1/predict", predictRequest{Row: sampleRow("25")}, nil); code != 200 {
+		t.Fatalf("inline predict after Close status %d", code)
+	}
+	var snap metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Batching != nil {
+		t.Fatal("batching section still present after Close")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -40,8 +41,15 @@ import (
 // DefaultModelName is the registry name used when a request names no model.
 const DefaultModelName = "default"
 
-// maxModelBytes bounds a POST /models/{name} body.
+// maxModelBytes bounds a POST /models/{name} body. Model uploads are rare
+// and legitimately large; the predict hot path gets its own, much smaller
+// cap (DefaultPredictMaxBytes) so one client cannot make the server
+// buffer-decode a quarter-gigabyte JSON body per request.
 const maxModelBytes = 256 << 20
+
+// DefaultPredictMaxBytes is the default POST /predict body cap; override
+// with Server.SetPredictMaxBytes (parclassd: -predict-max-bytes).
+const DefaultPredictMaxBytes = 8 << 20
 
 // loadedModel is one immutable published model version.
 type loadedModel struct {
@@ -77,6 +85,22 @@ type Server struct {
 	// buildMon, when set, surfaces a training run's live phase totals on
 	// /metrics (see SetBuildMonitor).
 	buildMon atomic.Pointer[parclass.BuildMonitor]
+	// predictCap overrides DefaultPredictMaxBytes when positive.
+	predictCap atomic.Int64
+	// batch is the predict micro-batcher, nil until EnableBatching.
+	batch atomic.Pointer[batcher]
+}
+
+// SetPredictMaxBytes overrides the POST /predict body cap (bytes); n <= 0
+// restores DefaultPredictMaxBytes. Safe to call at any time.
+func (s *Server) SetPredictMaxBytes(n int64) { s.predictCap.Store(n) }
+
+// predictMaxBytes is the effective predict body cap.
+func (s *Server) predictMaxBytes() int64 {
+	if n := s.predictCap.Load(); n > 0 {
+		return n
+	}
+	return DefaultPredictMaxBytes
 }
 
 // SetBuildMonitor attaches a training run's monitor; GET /metrics then
@@ -217,12 +241,16 @@ func writeErr(w http.ResponseWriter, rs *routeStats, code int, format string, ar
 // name→value), Rows (batch of the same), Values (single positional row in
 // schema attribute order — the fast path, no per-attribute keys on the
 // wire) or ValuesRows (batch positional), plus an optional model name.
+// NoBatch opts this one request out of server-side micro-batching: it runs
+// inline instead of joining the coalescing queue (useful for latency-
+// sensitive probes while bulk traffic batches).
 type predictRequest struct {
 	Model      string              `json:"model,omitempty"`
 	Row        map[string]string   `json:"row,omitempty"`
 	Rows       []map[string]string `json:"rows,omitempty"`
 	Values     []string            `json:"values,omitempty"`
 	ValuesRows [][]string          `json:"values_rows,omitempty"`
+	NoBatch    bool                `json:"no_batch,omitempty"`
 }
 
 type predictResponse struct {
@@ -233,13 +261,37 @@ type predictResponse struct {
 	ElapsedUS   int64    `json:"elapsed_us"`
 }
 
+// decodeBody decodes exactly one JSON document from r's body under cap
+// bytes into v, answering 413 on an oversized body (http.MaxBytesError)
+// and 400 on malformed JSON or trailing garbage after the document, and
+// reports whether the caller may proceed.
+func decodeBody(w http.ResponseWriter, r *http.Request, rs *routeStats, cap int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cap))
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, rs, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeErr(w, rs, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	// The second Decode must hit io.EOF: `{"rows":[...]}{"junk":1}` is a
+	// malformed request, not a request plus ignorable noise.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErr(w, rs, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rs := &s.met.predict
 	rs.requests.Add(1)
 	start := time.Now()
 	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxModelBytes)).Decode(&req); err != nil {
-		writeErr(w, rs, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeBody(w, r, rs, s.predictMaxBytes(), &req) {
 		return
 	}
 	forms := 0
@@ -255,6 +307,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	name := req.Model
 	if name == "" {
 		name = s.defaultModel
+	}
+	// The coalescing path: join the admission queue and let the dispatcher
+	// fold this request into one sharded batch walk per linger window. The
+	// queue is bounded; a full queue sheds the request with 429 instead of
+	// queueing goroutines and memory without bound.
+	if b := s.batch.Load(); b != nil && !req.NoBatch {
+		p := newPending(name, &req)
+		if !b.submit(p) {
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", b.retryAfter())
+			writeErr(w, rs, http.StatusTooManyRequests, "prediction queue full, retry later")
+			return
+		}
+		select {
+		case out := <-p.done:
+			if out.code != http.StatusOK {
+				writeErr(w, rs, out.code, "%s", out.err)
+				return
+			}
+			resp := predictResponse{Model: name, Rows: p.nrows()}
+			if p.single {
+				resp.Prediction = out.preds[0]
+			} else {
+				resp.Predictions = out.preds
+			}
+			resp.ElapsedUS = time.Since(start).Microseconds()
+			s.met.latencyUS.observe(resp.ElapsedUS)
+			s.met.batchRows.observe(int64(resp.Rows))
+			writeJSON(w, http.StatusOK, resp)
+		case <-r.Context().Done():
+			// Client gone; the dispatcher's send lands in the buffered done
+			// channel and is garbage collected with it.
+			rs.errors.Add(1)
+		}
+		return
 	}
 	sl, cur := s.current(name)
 	if cur == nil {
@@ -280,14 +367,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Prediction = pred
 		resp.Rows = 1
 	case len(req.ValuesRows) > 0:
-		preds := make([]string, len(req.ValuesRows))
-		for i, vals := range req.ValuesRows {
-			pred, err := cur.model.PredictValues(vals)
-			if err != nil {
-				writeErr(w, rs, predictErrCode(err), "row %d: %v", i, err)
-				return
-			}
-			preds[i] = pred
+		// One sharded batch walk, not a row-at-a-time PredictValues loop;
+		// PredictValuesBatch keeps the "row %d:" error attribution.
+		preds, err := cur.model.PredictValuesBatch(req.ValuesRows)
+		if err != nil {
+			writeErr(w, rs, predictErrCode(err), "%v", err)
+			return
 		}
 		resp.Predictions = preds
 		resp.Rows = len(preds)
@@ -364,6 +449,28 @@ type metricsSnapshot struct {
 	// Build is present when a BuildMonitor is attached: the training run's
 	// state and per-phase gauges, live while the build is in progress.
 	Build *buildStatus `json:"build,omitempty"`
+	// Batching is present when the micro-batcher is enabled: its knobs, a
+	// live queue-depth gauge, shed/dispatch counters and coalescing
+	// histograms.
+	Batching *batchingSnapshot `json:"batching,omitempty"`
+}
+
+// batchingSnapshot is the /metrics micro-batcher section.
+type batchingSnapshot struct {
+	MaxRows  int   `json:"max_rows"`
+	LingerUS int64 `json:"linger_us"`
+	QueueCap int   `json:"queue_cap"`
+	// QueueDepth is the live number of admitted requests waiting for the
+	// dispatcher at snapshot time.
+	QueueDepth int `json:"queue_depth"`
+	// ShedTotal counts requests rejected 429 by admission control.
+	ShedTotal int64 `json:"shed_total"`
+	// BatchesTotal counts coalesced dispatches (flat-tree batch walks).
+	BatchesTotal int64 `json:"batches_total"`
+	// CoalescedRows / CoalescedRequests distribute the rows and HTTP
+	// requests folded into each dispatch.
+	CoalescedRows     histogramSnapshot `json:"coalesced_rows"`
+	CoalescedRequests histogramSnapshot `json:"coalesced_requests"`
 }
 
 // buildStatus is the /metrics build section.
@@ -431,6 +538,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if bm := s.buildMon.Load(); bm != nil {
 		snap.Build = buildStatusFrom(bm)
+	}
+	if b := s.batch.Load(); b != nil {
+		snap.Batching = &batchingSnapshot{
+			MaxRows:           b.cfg.MaxRows,
+			LingerUS:          b.cfg.Linger.Microseconds(),
+			QueueCap:          b.cfg.QueueDepth,
+			QueueDepth:        len(b.ch),
+			ShedTotal:         s.met.shed.Load(),
+			BatchesTotal:      s.met.batches.Load(),
+			CoalescedRows:     s.met.coalescedRows.snapshot(),
+			CoalescedRequests: s.met.coalescedReqs.snapshot(),
+		}
 	}
 	s.mu.RLock()
 	for name, sl := range s.models {
@@ -542,8 +661,16 @@ func (s *Server) handleModelSwap(w http.ResponseWriter, r *http.Request) {
 	rs := &s.met.swap
 	rs.requests.Add(1)
 	name := r.PathValue("name")
+	// ReadModel itself rejects trailing garbage after the model document
+	// (tree.Read requires io.EOF after the first JSON value).
 	m, err := parclass.ReadModel(http.MaxBytesReader(w, r.Body, maxModelBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, rs, http.StatusRequestEntityTooLarge,
+				"model body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeErr(w, rs, http.StatusBadRequest, "loading model: %v", err)
 		return
 	}

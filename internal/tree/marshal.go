@@ -121,8 +121,14 @@ func encodeNode(n *Node) *nodeJSON {
 // the embedded schema.
 func Read(r io.Reader) (*Tree, error) {
 	var m modelJSON
-	if err := json.NewDecoder(r).Decode(&m); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("tree: decoding model: %w", err)
+	}
+	// Exactly one JSON document: anything but whitespace after it means a
+	// concatenated or truncated upload, which must not be half-accepted.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("tree: trailing data after model JSON")
 	}
 	if m.Format != modelFormat {
 		return nil, fmt.Errorf("tree: not a parclass model (format %q)", m.Format)

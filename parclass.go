@@ -554,6 +554,78 @@ func (m *Model) PredictValues(vals []string) (string, error) {
 	return s.Classes[code], nil
 }
 
+// PredictValuesBatch classifies many positional rows at once: the batch
+// form of PredictValues, and the fast path for bulk positional traffic
+// (the server's "values_rows" request form and its micro-batcher dispatch
+// both land here). Decode and the compiled flat-tree walk fan out over
+// contiguous row shards exactly like PredictBatch, with one backing array
+// per column kind instead of per-row buffers. It returns one predicted
+// class name per row, in order; a malformed row fails the whole batch with
+// an error naming the row index ("row %d: ...") and wrapping the same
+// sentinel PredictValues would return for that row alone.
+func (m *Model) PredictValuesBatch(rows [][]string) ([]string, error) {
+	if err := m.Compile(); err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	if n == 0 {
+		return nil, nil
+	}
+	s := m.tree.Schema
+	nAttrs := len(s.Attrs)
+	contBuf := make([]float64, n*nAttrs)
+	catBuf := make([]int32, n*nAttrs)
+	codes := make([]int32, n)
+
+	procs := runtime.GOMAXPROCS(0)
+	if procs > n/batchShardMin {
+		procs = n / batchShardMin
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		lo, hi := w*n/procs, (w+1)*n/procs
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				vals := rows[i]
+				if len(vals) != nAttrs {
+					errs[w] = fmt.Errorf("row %d: %w: got %d values, schema has %d attributes",
+						i, ErrUnknownAttribute, len(vals), nAttrs)
+					return
+				}
+				tu := dataset.Tuple{
+					Cont: contBuf[i*nAttrs : (i+1)*nAttrs],
+					Cat:  catBuf[i*nAttrs : (i+1)*nAttrs],
+				}
+				for a, raw := range vals {
+					if err := m.decodeValue(a, raw, tu); err != nil {
+						errs[w] = fmt.Errorf("row %d: %w", i, err)
+						return
+					}
+				}
+				codes[i] = m.compiled.Predict(tu)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, n)
+	classes := s.Classes
+	for i, c := range codes {
+		out[i] = classes[c]
+	}
+	return out, nil
+}
+
 // PredictBatch classifies many examples at once, fanning decode + compiled
 // tree walks out over contiguous row shards (one goroutine per GOMAXPROCS
 // processor for large batches). It returns one predicted class name per

@@ -1,0 +1,109 @@
+package parclass
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPredictValuesBatchMatchesPredictValues(t *testing.T) {
+	ds := synthDS(t, 7, 2000)
+	m, err := Train(ds, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 500)
+	got, err := m.PredictValuesBatch(vrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vrows) {
+		t.Fatalf("got %d predictions for %d rows", len(got), len(vrows))
+	}
+	for i, vals := range vrows {
+		want, err := m.PredictValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("row %d: batch %q, single %q", i, got[i], want)
+		}
+	}
+	// Empty batches are a no-op, not an error.
+	if out, err := m.PredictValuesBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+}
+
+func TestPredictValuesBatchErrors(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 5)
+
+	// Wrong width at row 3: the error names the row and wraps the same
+	// sentinel PredictValues returns.
+	bad := append([][]string(nil), vrows...)
+	bad[3] = bad[3][:2]
+	if _, err := m.PredictValuesBatch(bad); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("short row error = %v, want ErrUnknownAttribute", err)
+	} else if !strings.Contains(err.Error(), "row 3:") {
+		t.Fatalf("short row error %q does not name row 3", err)
+	}
+
+	// Unknown category at row 2.
+	bad = append([][]string(nil), vrows...)
+	bad[2] = append([]string(nil), bad[2]...)
+	for a, name := range ds.AttrNames() {
+		if name == "car" {
+			bad[2][a] = "spaceship"
+		}
+	}
+	_, err = m.PredictValuesBatch(bad)
+	if !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("bad category error = %v, want ErrUnknownValue", err)
+	}
+	if !strings.Contains(err.Error(), "row 2:") {
+		t.Fatalf("bad category error %q does not name row 2", err)
+	}
+	// The per-row message matches what PredictValues says for that row alone.
+	_, single := m.PredictValues(bad[2])
+	if single == nil || !strings.HasSuffix(err.Error(), single.Error()) {
+		t.Fatalf("batch error %q does not end with single-row error %q", err, single)
+	}
+}
+
+// BenchmarkPredictValuesRowLoopVsBatch measures the fix this PR makes to
+// the server's values_rows form: a per-row PredictValues loop (the old
+// serving path) against one PredictValuesBatch call over the same rows.
+func BenchmarkPredictValuesRowLoopVsBatch(b *testing.B) {
+	ds := synthDS(b, 7, 5000)
+	m, err := Train(ds, Options{MaxDepth: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 1024)
+	b.Run("rowloop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, vals := range vrows {
+				if _, err := m.PredictValues(vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictValuesBatch(vrows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
