@@ -28,21 +28,22 @@ test:
 # regression introduced by a dependency).
 alloc-check:
 	$(GO) test -count=1 -run 'TestWorkUnitAllocationBudget' ./internal/core/
+	$(GO) test -count=1 -run 'TestHistWorkUnitAllocationBudget' ./internal/hist/
 
 race:
-	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/...
+	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/... ./internal/hist/...
 
 # The chaos matrix: every scheme x every storage backend x deterministic
 # fault plans (transient/permanent/short-write/panic/latency), under the
 # race detector, with goroutine-leak and temp-dir-leak checks (see
 # internal/core/chaos_test.go and phasefault_test.go).
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPhaseFaults|TestStoreCloseErrorSurfaces|TestTempDirRemovedOnStoreCtorFailure' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPhaseFaults|TestStoreCloseErrorSurfaces|TestTempDirRemovedOnStoreCtorFailure|TestHistChaos' ./internal/core/
 
 # The build-phase observability sweep: real instrumented builds over the
 # paper's F1/F7 pair, written to the checked-in BENCH_build.json.
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_build.json
+	$(GO) run ./cmd/benchjson -repeat 2 -out BENCH_build.json
 
 # Diff the checked-in sweep against the previous PR's baseline; fails on a
 # >10% build-time regression in any matched run.

@@ -14,21 +14,25 @@ import (
 // it. The phases are the paper's E (split evaluation), W (winner selection
 // and probe construction) and S (attribute-list splitting), plus the two
 // waiting states the parallel schemes introduce: barrier stalls and idle
-// time (MWK window waits, SUBTREE free-queue sleeps).
+// time (MWK window waits, SUBTREE free-queue sleeps). The Hist engine adds
+// a sixth bucket, bin: its one-time quantile-sketch binning pass (always
+// zero for the exact engines).
 type PhaseBreakdown struct {
 	Eval    float64 `json:"eval_seconds"`
 	Winner  float64 `json:"winner_seconds"`
 	Split   float64 `json:"split_seconds"`
 	Barrier float64 `json:"barrier_seconds"`
 	Idle    float64 `json:"idle_seconds"`
+	Bin     float64 `json:"bin_seconds,omitempty"`
 
 	EvalUnits   int64 `json:"eval_units"`
 	WinnerUnits int64 `json:"winner_units"`
 	SplitUnits  int64 `json:"split_units"`
+	BinUnits    int64 `json:"bin_units,omitempty"`
 }
 
-// Busy returns the productive time: E + W + S.
-func (p PhaseBreakdown) Busy() float64 { return p.Eval + p.Winner + p.Split }
+// Busy returns the productive time: E + W + S (+ bin for Hist).
+func (p PhaseBreakdown) Busy() float64 { return p.Eval + p.Winner + p.Split + p.Bin }
 
 // Waiting returns the unproductive time: barrier + idle.
 func (p PhaseBreakdown) Waiting() float64 { return p.Barrier + p.Idle }
@@ -42,9 +46,11 @@ func (p *PhaseBreakdown) add(q PhaseBreakdown) {
 	p.Split += q.Split
 	p.Barrier += q.Barrier
 	p.Idle += q.Idle
+	p.Bin += q.Bin
 	p.EvalUnits += q.EvalUnits
 	p.WinnerUnits += q.WinnerUnits
 	p.SplitUnits += q.SplitUnits
+	p.BinUnits += q.BinUnits
 }
 
 // WorkerTrace is one worker's per-level breakdown; Levels[d] covers tree
@@ -144,11 +150,11 @@ func (b *BuildTrace) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s P=%d build=%.3fs skew=%.2f eff=%.2f\n",
 		b.Algorithm, b.Procs, b.BuildSeconds, b.Skew(), b.Efficiency())
-	fmt.Fprintf(&sb, "%-8s %10s %10s %10s %10s %10s %10s\n",
-		"worker", "E", "W", "S", "barrier", "idle", "busy")
+	fmt.Fprintf(&sb, "%-8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"worker", "bin", "E", "W", "S", "barrier", "idle", "busy")
 	row := func(name string, p PhaseBreakdown) {
-		fmt.Fprintf(&sb, "%-8s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-			name, p.Eval, p.Winner, p.Split, p.Barrier, p.Idle, p.Busy())
+		fmt.Fprintf(&sb, "%-8s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			name, p.Bin, p.Eval, p.Winner, p.Split, p.Barrier, p.Idle, p.Busy())
 	}
 	for i, p := range b.WorkerTotals() {
 		row(fmt.Sprintf("p%d", i), p)
@@ -165,9 +171,11 @@ func breakdownFrom(lv trace.BuildLevel) PhaseBreakdown {
 		Split:       lv.Seconds[trace.PhaseSplit],
 		Barrier:     lv.Seconds[trace.PhaseBarrier],
 		Idle:        lv.Seconds[trace.PhaseIdle],
+		Bin:         lv.Seconds[trace.PhaseBin],
 		EvalUnits:   lv.Units[trace.PhaseEval],
 		WinnerUnits: lv.Units[trace.PhaseWinner],
 		SplitUnits:  lv.Units[trace.PhaseSplit],
+		BinUnits:    lv.Units[trace.PhaseBin],
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 
 func TestModelBuildTrace(t *testing.T) {
 	ds := synthDS(t, 7, 1500)
-	for _, alg := range []Algorithm{Serial, Basic, FWK, MWK, Subtree, RecordParallel} {
+	for _, alg := range []Algorithm{Serial, Basic, FWK, MWK, Subtree, RecordParallel, Hist} {
 		t.Run(alg.String(), func(t *testing.T) {
 			m, err := Train(ds, Options{Algorithm: alg, Procs: 3, MaxDepth: 6})
 			if err != nil {
@@ -24,6 +24,13 @@ func TestModelBuildTrace(t *testing.T) {
 			tot := bt.Totals()
 			if tot.EvalUnits == 0 || tot.WinnerUnits == 0 || tot.SplitUnits == 0 {
 				t.Fatalf("phase units missing: %+v", tot)
+			}
+			if alg == Hist {
+				if tot.BinUnits == 0 || tot.Bin <= 0 {
+					t.Fatalf("Hist trace missing bin phase: %+v", tot)
+				}
+			} else if tot.BinUnits != 0 {
+				t.Fatalf("exact engine recorded bin units: %+v", tot)
 			}
 			if tot.Busy() <= 0 {
 				t.Fatal("no busy time recorded")

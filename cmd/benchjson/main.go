@@ -98,11 +98,14 @@ func main() {
 		datasets = flag.String("datasets", "F1-A32-D20K,F7-A32-D20K,F7-A32-D100K",
 			"comma-separated synthetic specs Fx-Ay-DzK")
 		procsList = flag.String("procs", "1,2,4", "comma-separated processor counts")
-		algs      = flag.String("algorithms", "basic,fwk,mwk,subtree",
+		algs      = flag.String("algorithms", "basic,fwk,mwk,subtree,recpar,hist",
 			"comma-separated parallel schemes (serial at P=1 always runs as the baseline)")
+		histBig = flag.String("hist-datasets", "F7-A9-D1000K",
+			"comma-separated specs measured with hist only (exact engines would take hours at this scale); empty disables")
 		seed      = flag.Int64("seed", 1, "synthetic generator seed")
 		out       = flag.String("out", "", "write JSON here instead of stdout")
 		warmup    = flag.Bool("warmup", true, "run one untimed serial build first to warm the heap")
+		repeat    = flag.Int("repeat", 1, "train each cell this many times and keep the fastest (damps scheduler noise on oversubscribed hosts)")
 		compare   = flag.Bool("compare", false, "compare two reports (args: old.json new.json) and fail on >10% build-time regressions")
 		serveMode = flag.Bool("serve", false,
 			"run the serving benchmark instead of the build sweep: loadgen's driver against an in-process server, appending serve_runs to -out")
@@ -168,7 +171,7 @@ func main() {
 				log.Fatalf("%s warmup: %v", spec, err)
 			}
 		}
-		serial, err := measure(ds, spec, parclass.Serial, 1, 0)
+		serial, err := measureBest(ds, spec, parclass.Serial, 1, 0, *repeat)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -180,7 +183,7 @@ func main() {
 				log.Fatal(err)
 			}
 			for _, p := range procs {
-				r, err := measure(ds, spec, alg, p, serial.BuildSeconds)
+				r, err := measureBest(ds, spec, alg, p, serial.BuildSeconds, *repeat)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -188,6 +191,26 @@ func main() {
 				log.Printf("%-14s %-7s P=%d build=%.3fs speedup=%.2f skew=%.2f eff=%.0f%%",
 					spec, name, p, r.BuildSeconds, r.Speedup, r.Skew, 100*r.Efficiency)
 			}
+		}
+	}
+
+	// Hist-only big datasets: the approximate engine's reason to exist is
+	// row counts where the exact engines' sort becomes the build. No serial
+	// baseline is run (it would dominate the sweep's wall clock), so these
+	// rows carry no speedup and compare only against their own history.
+	for _, spec := range splitList(*histBig) {
+		ds, err := loadDataset(spec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range procs {
+			r, err := measureBest(ds, spec, parclass.Hist, p, 0, *repeat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Runs = append(rep.Runs, r)
+			log.Printf("%-14s %-7s P=%d build=%.3fs skew=%.2f eff=%.0f%%",
+				spec, "hist", p, r.BuildSeconds, r.Skew, 100*r.Efficiency)
 		}
 	}
 
@@ -216,6 +239,26 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d runs)", *out, len(rep.Runs))
+}
+
+// measureBest runs measure n times and keeps the fastest build. On a host
+// with fewer cores than workers a single run's wall clock is hostage to the
+// scheduler; the minimum is the stable statistic.
+func measureBest(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs int, serialBuild float64, n int) (run, error) {
+	best, err := measure(ds, spec, alg, procs, serialBuild)
+	if err != nil {
+		return run{}, err
+	}
+	for i := 1; i < n; i++ {
+		r, err := measure(ds, spec, alg, procs, serialBuild)
+		if err != nil {
+			return run{}, err
+		}
+		if r.BuildSeconds < best.BuildSeconds {
+			best = r
+		}
+	}
+	return best, nil
 }
 
 // measure trains once and folds the model's BuildTrace into a run record.
@@ -256,6 +299,7 @@ func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs in
 		"split":   tot.Split,
 		"barrier": tot.Barrier,
 		"idle":    tot.Idle,
+		"bin":     tot.Bin,
 	}
 	for _, wt := range bt.WorkerTotals() {
 		r.WorkerBusySecs = append(r.WorkerBusySecs, wt.Busy())
@@ -505,6 +549,10 @@ func parseAlg(name string) (parclass.Algorithm, error) {
 		return parclass.MWK, nil
 	case "subtree":
 		return parclass.Subtree, nil
+	case "recpar":
+		return parclass.RecordParallel, nil
+	case "hist":
+		return parclass.Hist, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}

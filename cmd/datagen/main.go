@@ -8,11 +8,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"repro/internal/dataset"
 	"repro/internal/synth"
 )
 
@@ -28,6 +31,7 @@ func main() {
 		noise    = flag.Float64("label-noise", 0, "label flip probability")
 		classes  = flag.Int("classes", 0, "class count (default 2; F1 supports 3, F7-F10 support 2..26)")
 		out      = flag.String("out", "", "output CSV path (default stdout)")
+		stream   = flag.Bool("stream", false, "stream tuples straight to the output (constant memory; for D1M/D10M)")
 	)
 	flag.Parse()
 
@@ -39,6 +43,12 @@ func main() {
 		Perturbation: *perturb,
 		LabelNoise:   *noise,
 		Classes:      *classes,
+	}
+	if *stream {
+		if err := streamOut(cfg, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	tbl, err := synth.Generate(cfg)
 	if err != nil {
@@ -63,4 +73,62 @@ func main() {
 	}
 	fmt.Printf("%s: wrote %d tuples, %d attributes to %s (%s)\n",
 		cfg.Name(), tbl.NumTuples(), tbl.Schema().NumAttrs(), *out, dist)
+}
+
+// streamOut generates the dataset tuple by tuple, writing each row as it is
+// drawn. Memory use is constant in the tuple count, so D1M/D10M files can
+// be produced on hosts that could never hold the table.
+func streamOut(cfg synth.Config, out string) error {
+	s, err := synth.NewStreamer(cfg)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if out != "" {
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw, err := dataset.NewCSVWriter(bw, s.Schema())
+	if err != nil {
+		return err
+	}
+	hist := make([]int, len(s.Schema().Classes))
+	n := 0
+	for {
+		tu, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := cw.Write(tu); err != nil {
+			return err
+		}
+		hist[tu.Class]++
+		n++
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		dist := ""
+		for i, c := range hist {
+			if i > 0 {
+				dist += " "
+			}
+			dist += fmt.Sprintf("%s=%d", s.Schema().Classes[i], c)
+		}
+		fmt.Printf("%s: streamed %d tuples, %d attributes to %s (%s)\n",
+			cfg.Name(), n, s.Schema().NumAttrs(), out, dist)
+	}
+	return nil
 }

@@ -29,9 +29,10 @@ func main() {
 		data      = flag.String("data", "", "CSV dataset (header row; last column is the class)")
 		synthetic = flag.String("synthetic", "", "synthetic dataset spec Fx-Ay-DzK (e.g. F7-A32-D100K)")
 		seed      = flag.Int64("seed", 1, "synthetic generator seed")
-		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree | recpar")
+		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree | recpar | hist")
 		procs     = flag.Int("procs", 1, "worker processors for parallel schemes")
 		windowK   = flag.Int("window", 4, "window size K for fwk/mwk")
+		maxBins   = flag.Int("max-bins", 0, "histogram bins per continuous attribute for hist (0 = default 256)")
 		storage   = flag.String("storage", "memory", "memory | disk (attribute-list backend)")
 		tempdir   = flag.String("tempdir", "", "directory for disk attribute lists")
 		probeKind = flag.String("probe", "bit", "bit | hash | relabel (tid probe design)")
@@ -83,6 +84,12 @@ func main() {
 		opt.Algorithm = parclass.Subtree
 	case "recpar":
 		opt.Algorithm = parclass.RecordParallel
+	case "hist":
+		opt.Algorithm = parclass.Hist
+		opt.MaxBins = *maxBins
+		// The -window default of 4 is an fwk/mwk knob; hist has no window
+		// and Validate rejects a non-zero one.
+		opt.WindowK = 0
 	default:
 		log.Fatalf("unknown algorithm %q", *algorithm)
 	}

@@ -50,8 +50,9 @@ func main() {
 		data      = flag.String("data", "", "CSV dataset to train on (last column is the class)")
 		synthetic = flag.String("synthetic", "", "synthetic dataset spec Fx-Ay-DzK (e.g. F7-A32-D10K)")
 		seed      = flag.Int64("seed", 1, "synthetic generator seed")
-		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree")
+		algorithm = flag.String("algorithm", "serial", "serial | basic | fwk | mwk | subtree | recpar | hist")
 		procs     = flag.Int("procs", 1, "worker processors for parallel training schemes")
+		maxBins   = flag.Int("max-bins", 0, "histogram bins per continuous attribute for hist (0 = default 256)")
 		maxDepth  = flag.Int("max-depth", 0, "tree depth bound (0 = unlimited)")
 		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
 		bgTrain   = flag.Bool("background-train", false,
@@ -92,7 +93,7 @@ func main() {
 	}
 
 	train := func() error {
-		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *doPrune, mon)
+		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *maxBins, *doPrune, mon)
 		if err != nil {
 			return err
 		}
@@ -154,7 +155,7 @@ func main() {
 
 // buildModel trains or loads the initial model and describes its origin.
 func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
-	procs, maxDepth int, doPrune bool, mon *parclass.BuildMonitor) (*parclass.Model, string, error) {
+	procs, maxDepth, maxBins int, doPrune bool, mon *parclass.BuildMonitor) (*parclass.Model, string, error) {
 	if modelPath != "" {
 		m, err := parclass.LoadModel(modelPath)
 		return m, "loaded " + modelPath, err
@@ -198,6 +199,11 @@ func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
 		opt.Algorithm = parclass.MWK
 	case "subtree":
 		opt.Algorithm = parclass.Subtree
+	case "recpar":
+		opt.Algorithm = parclass.RecordParallel
+	case "hist":
+		opt.Algorithm = parclass.Hist
+		opt.MaxBins = maxBins
 	default:
 		return nil, "", fmt.Errorf("unknown algorithm %q", algorithm)
 	}

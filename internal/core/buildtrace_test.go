@@ -14,7 +14,7 @@ import (
 // measured reconciliation on quiet hardware.
 func TestBuildRecorderReconciles(t *testing.T) {
 	tbl := synthTable(t, 7, 9, 4000, 1)
-	for _, alg := range []Algorithm{Serial, Basic, FWK, MWK, Subtree, RecPar} {
+	for _, alg := range []Algorithm{Serial, Basic, FWK, MWK, Subtree, RecPar, Hist} {
 		t.Run(alg.String(), func(t *testing.T) {
 			procs := 3
 			if alg == Serial {
@@ -39,10 +39,17 @@ func TestBuildRecorderReconciles(t *testing.T) {
 					}
 				}
 			}
-			for _, p := range []trace.BuildPhase{trace.PhaseEval, trace.PhaseWinner, trace.PhaseSplit} {
+			want := []trace.BuildPhase{trace.PhaseEval, trace.PhaseWinner, trace.PhaseSplit}
+			if alg == Hist {
+				want = append(want, trace.PhaseBin)
+			}
+			for _, p := range want {
 				if units[p] == 0 {
 					t.Errorf("%v: no %v units recorded", alg, p)
 				}
+			}
+			if alg != Hist && units[trace.PhaseBin] != 0 {
+				t.Errorf("%v: exact engine recorded %d bin units", alg, units[trace.PhaseBin])
 			}
 			_ = ph
 

@@ -38,6 +38,13 @@ const (
 	// attribute list — the distributed-memory SPRINT design the paper
 	// argues against for SMPs (§3.1). Provided as a comparison baseline.
 	RecPar
+	// Hist is the approximate histogram-binned engine: continuous
+	// attributes are pre-binned by a one-pass quantile sketch, split
+	// search runs over per-node class×bin histograms, and nodes are
+	// partitioned by permuting a row-index array — no attribute lists, no
+	// sort, no S-step rewriting. Splits are approximate (bin boundaries
+	// only) but builds scale to row counts the exact engines cannot reach.
+	Hist
 )
 
 // String names the algorithm as the paper does.
@@ -55,6 +62,8 @@ func (a Algorithm) String() string {
 		return "SUBTREE"
 	case RecPar:
 		return "RECPAR"
+	case Hist:
+		return "HIST"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -116,6 +125,9 @@ type Config struct {
 	// MaxEnumCard overrides the categorical subset-enumeration threshold
 	// when > 0 (see split.MaxEnumCard).
 	MaxEnumCard int
+	// MaxBins is the Hist engine's bin budget per continuous attribute.
+	// Default 256; valid range 2..65536 (bin indices are uint16).
+	MaxBins int
 	// SubtreeInner selects the algorithm SUBTREE groups run per level:
 	// Basic (default, the paper's Fig. 7) or MWK — the hybrid the paper
 	// suggests in §3.4 ("we can also use FWK or MWK as the subroutine").
@@ -149,6 +161,11 @@ type Config struct {
 	// or overridden) before the retry layer is applied; used by chaos
 	// tests to inject faults beneath the retry path.
 	storeWrap func(alist.Store) alist.Store
+	// histHook, when non-nil, is called by every Hist work unit with the
+	// phase name and worker id before the unit runs; a returned error
+	// aborts the build. The Hist engine touches no store, so its chaos
+	// tests inject panics and faults here instead of through storeWrap.
+	histHook func(phase string, worker int) error
 }
 
 // withDefaults fills zero fields with defaults and validates.
@@ -178,9 +195,15 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: MinGiniGain must be >= 0, got %g", c.MinGiniGain)
 	}
 	switch c.Algorithm {
-	case Serial, Basic, FWK, MWK, Subtree, RecPar:
+	case Serial, Basic, FWK, MWK, Subtree, RecPar, Hist:
 	default:
 		return c, fmt.Errorf("core: unknown algorithm %d", int(c.Algorithm))
+	}
+	if c.MaxBins == 0 {
+		c.MaxBins = 256
+	}
+	if c.MaxBins < 2 || c.MaxBins > 65536 {
+		return c, fmt.Errorf("core: MaxBins must be in [2,65536], got %d", c.MaxBins)
 	}
 	if c.Algorithm == RecPar && c.Probe != probe.GlobalBit {
 		return c, fmt.Errorf("core: record parallelism requires the global bit probe (concurrent chunk writes)")

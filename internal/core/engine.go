@@ -30,6 +30,7 @@ type childInfo struct {
 	hist     []int64
 	terminal bool // purity pre-test: child will not be processed further
 	segs     []segRef
+	rowLo    int // Hist only: start of the child's row-index range
 }
 
 // leafState is the engine's working state for one frontier leaf.
@@ -44,6 +45,12 @@ type leafState struct {
 	didSplit  bool
 	prb       probe.Leaf
 	children  [2]*childInfo
+
+	// Hist-engine state: the leaf's tuples are rows idx[rowLo:rowLo+n] of
+	// the engine's row-index permutation, and histLeft routes the winning
+	// attribute's bins to the children.
+	rowLo    int
+	histLeft []bool
 
 	// Scheduling state for the dynamic (per-leaf) schemes.
 	eNext atomic.Int64 // next E attribute to grab
@@ -123,6 +130,22 @@ func Build(tbl *dataset.Table, cfg Config) (tr *tree.Tree, tm Timings, err error
 	}
 	if e.ntuples == 0 {
 		return nil, Timings{}, fmt.Errorf("core: empty training set")
+	}
+
+	// The Hist engine has no attribute lists: no store, no setup/sort
+	// phases, no probes. Everything — including the binning pass — runs
+	// inside the build wall clock, recorded as its own phase.
+	if cfg.Algorithm == Hist {
+		root := e.setupHist()
+		t0 := time.Now()
+		err = e.runHist(root)
+		e.timings.Build = time.Since(t0)
+		if err != nil {
+			return nil, e.timings, err
+		}
+		tr = &tree.Tree{Root: root.node, Schema: e.schema}
+		renumber(tr)
+		return tr, e.timings, nil
 	}
 
 	slots := e.initialSlots()

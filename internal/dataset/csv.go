@@ -40,6 +40,49 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// CSVWriter writes tuples row by row in WriteCSV's format, for producers
+// (like a streaming generator) that never hold a full table in memory.
+type CSVWriter struct {
+	cw     *csv.Writer
+	schema *Schema
+	rec    []string
+}
+
+// NewCSVWriter writes the header row for the schema and returns a writer
+// ready for tuples.
+func NewCSVWriter(w io.Writer, schema *Schema) (*CSVWriter, error) {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(schema.Attrs)+1)
+	for i := range schema.Attrs {
+		header = append(header, schema.Attrs[i].Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &CSVWriter{cw: cw, schema: schema, rec: make([]string, len(header))}, nil
+}
+
+// Write appends one tuple row.
+func (w *CSVWriter) Write(tu Tuple) error {
+	for a := range w.schema.Attrs {
+		if w.schema.Attrs[a].Kind == Continuous {
+			w.rec[a] = strconv.FormatFloat(tu.Cont[a], 'g', -1, 64)
+		} else {
+			w.rec[a] = w.schema.Attrs[a].Categories[tu.Cat[a]]
+		}
+	}
+	w.rec[len(w.rec)-1] = w.schema.Classes[tu.Class]
+	return w.cw.Write(w.rec)
+}
+
+// Flush drains the buffered rows and reports any deferred write error.
+// Call it once after the last Write.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
 // WriteCSVFile writes the table to the named file.
 func (t *Table) WriteCSVFile(path string) error {
 	f, err := os.Create(path)

@@ -186,6 +186,10 @@ func (t *Table) ContColumn(a int) []float64 { return t.cont[a] }
 // convention). It returns nil for continuous attributes.
 func (t *Table) CatColumn(a int) []int32 { return t.cat[a] }
 
+// ClassColumn returns the backing slice of the class column (read-only by
+// convention).
+func (t *Table) ClassColumn() []int32 { return t.class }
+
 // Grow pre-allocates capacity for n additional tuples.
 func (t *Table) Grow(n int) {
 	for a := range t.schema.Attrs {

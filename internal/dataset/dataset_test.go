@@ -223,3 +223,41 @@ func TestGrow(t *testing.T) {
 		t.Fatal("Grow lost data")
 	}
 }
+
+// TestCSVWriterMatchesWriteCSV checks the row-streaming writer produces
+// byte-identical output to the table-level WriteCSV.
+func TestCSVWriterMatchesWriteCSV(t *testing.T) {
+	schema := validSchema()
+	tbl, err := NewTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []Tuple{
+		{Cont: []float64{1.5, 0}, Cat: []int32{0, 1}, Class: 0},
+		{Cont: []float64{-2.25, 0}, Cat: []int32{0, 0}, Class: 1},
+		{Cont: []float64{1e9, 0}, Cat: []int32{0, 1}, Class: 0},
+	}
+	for _, tu := range tuples {
+		tbl.AppendFast(tu)
+	}
+	var whole strings.Builder
+	if err := tbl.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	var rows strings.Builder
+	cw, err := NewCSVWriter(&rows, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := cw.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if whole.String() != rows.String() {
+		t.Fatalf("outputs differ:\nWriteCSV:\n%s\nCSVWriter:\n%s", whole.String(), rows.String())
+	}
+}

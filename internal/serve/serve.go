@@ -498,7 +498,7 @@ func buildStatusFrom(bm *parclass.BuildMonitor) *buildStatus {
 	bs.BuildSeconds = bt.BuildSeconds
 	bs.PhaseSeconds = map[string]float64{
 		"eval": tot.Eval, "winner": tot.Winner, "split": tot.Split,
-		"barrier": tot.Barrier, "idle": tot.Idle,
+		"barrier": tot.Barrier, "idle": tot.Idle, "bin": tot.Bin,
 	}
 	bs.Skew = bt.Skew()
 	bs.Efficiency = bt.Efficiency()

@@ -370,6 +370,17 @@ func (e *CatEval) PushChunk(recs []alist.Record) {
 	}
 }
 
+// AddCount folds n pre-aggregated records of (class, cat) into the count
+// matrix. The HIST engine uses it to feed merged histogram cells instead of
+// streaming individual records; Finish then runs the same subset search.
+func (e *CatEval) AddCount(class, cat int, n int64) {
+	if n == 0 {
+		return
+	}
+	e.counts[class*e.card+cat] += n
+	e.catTot[cat] += n
+}
+
 // Merge folds another evaluator's counts into this one; used by the
 // record-data-parallel scheme where each processor gathers the count matrix
 // of its own chunk. Both evaluators must describe the same attribute.

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Streamer produces the same tuple sequence as Generate one tuple at a
+// time, so datasets far larger than memory (D1M, D10M) can be written
+// straight to disk. The generator state is a few RNGs and one reusable
+// tuple buffer; memory use is constant in the tuple count. For any Config,
+// streaming and materializing draw from the RNG streams in the same order,
+// so the outputs are identical row for row.
+type Streamer struct {
+	cfg    Config
+	k      int
+	schema *dataset.Schema
+
+	rng        *rand.Rand
+	perturbRng *rand.Rand
+	noiseRng   *rand.Rand
+
+	tu   dataset.Tuple
+	next int
+}
+
+// NewStreamer validates the configuration and positions the stream at the
+// first tuple.
+func NewStreamer(c Config) (*Streamer, error) {
+	if c.Attrs == 0 {
+		c.Attrs = numBaseAttrs
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	k := c.Classes
+	if k == 0 {
+		k = 2
+	}
+	schema := SchemaK(c.Attrs, k)
+	return &Streamer{
+		cfg:    c,
+		k:      k,
+		schema: schema,
+		// Separate streams keep the drawn tuples identical across runs
+		// that differ only in perturbation or label-noise settings
+		// (mirrors Generate).
+		rng:        rand.New(rand.NewSource(c.Seed)),
+		perturbRng: rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D)),
+		noiseRng:   rand.New(rand.NewSource(c.Seed ^ 0x2545F4914F6CDD1D)),
+		tu: dataset.Tuple{
+			Cont: make([]float64, len(schema.Attrs)),
+			Cat:  make([]int32, len(schema.Attrs)),
+		},
+	}, nil
+}
+
+// Schema returns the stream's dataset schema.
+func (s *Streamer) Schema() *dataset.Schema { return s.schema }
+
+// Remaining returns how many tuples the stream will still produce.
+func (s *Streamer) Remaining() int { return s.cfg.Tuples - s.next }
+
+// Next draws the next labeled tuple, or returns false when the configured
+// tuple count is exhausted. The returned tuple aliases an internal buffer
+// that the following Next call overwrites; copy it to retain it.
+func (s *Streamer) Next() (dataset.Tuple, bool) {
+	if s.next >= s.cfg.Tuples {
+		return dataset.Tuple{}, false
+	}
+	s.next++
+	c, k := s.cfg, s.k
+	v := drawTuple(s.rng)
+	code := classifyK(c.Function, v, k)
+	if c.Perturbation > 0 {
+		perturb(s.perturbRng, &v, c.Perturbation)
+	}
+	if c.LabelNoise > 0 && s.noiseRng.Float64() < c.LabelNoise {
+		flip := int32(s.noiseRng.Intn(k - 1))
+		if flip >= code {
+			flip++
+		}
+		code = flip
+	}
+	tu := &s.tu
+	tu.Cont[AttrSalary] = v.salary
+	tu.Cont[AttrCommission] = v.commission
+	tu.Cont[AttrAge] = v.age
+	tu.Cat[AttrElevel] = v.elevel
+	tu.Cat[AttrCar] = v.car
+	tu.Cat[AttrZipcode] = v.zipcode
+	tu.Cont[AttrHvalue] = v.hvalue
+	tu.Cont[AttrHyears] = v.hyears
+	tu.Cont[AttrLoan] = v.loan
+	for a := numBaseAttrs; a < len(s.schema.Attrs); a++ {
+		if s.schema.Attrs[a].Kind == dataset.Continuous {
+			tu.Cont[a] = s.rng.Float64() * 1000
+		} else {
+			tu.Cat[a] = int32(s.rng.Intn(len(s.schema.Attrs[a].Categories)))
+		}
+	}
+	tu.Class = code
+	return *tu, true
+}

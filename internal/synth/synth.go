@@ -167,66 +167,27 @@ type tuple struct {
 	hvalue, hyears, loan    float64
 }
 
-// Generate produces a labeled table according to the configuration.
+// Generate produces a labeled table according to the configuration. It is
+// the materializing front of NewStreamer: both draw the same RNG streams in
+// the same order, so a streamed dataset is row-for-row identical to a
+// generated one.
 func Generate(c Config) (*dataset.Table, error) {
-	if c.Attrs == 0 {
-		c.Attrs = numBaseAttrs
-	}
-	if err := c.validate(); err != nil {
+	s, err := NewStreamer(c)
+	if err != nil {
 		return nil, err
 	}
-	k := c.Classes
-	if k == 0 {
-		k = 2
-	}
-	schema := SchemaK(c.Attrs, k)
-	tbl, err := dataset.NewTable(schema)
+	tbl, err := dataset.NewTable(s.Schema())
 	if err != nil {
 		return nil, err
 	}
 	tbl.Grow(c.Tuples)
-	// Separate streams keep the drawn tuples identical across runs that
-	// differ only in perturbation or label-noise settings.
-	rng := rand.New(rand.NewSource(c.Seed))
-	perturbRng := rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D))
-	noiseRng := rand.New(rand.NewSource(c.Seed ^ 0x2545F4914F6CDD1D))
-	tu := dataset.Tuple{
-		Cont: make([]float64, len(schema.Attrs)),
-		Cat:  make([]int32, len(schema.Attrs)),
-	}
-	for i := 0; i < c.Tuples; i++ {
-		v := drawTuple(rng)
-		code := classifyK(c.Function, v, k)
-		if c.Perturbation > 0 {
-			perturb(perturbRng, &v, c.Perturbation)
+	for {
+		tu, ok := s.Next()
+		if !ok {
+			return tbl, nil
 		}
-		if c.LabelNoise > 0 && noiseRng.Float64() < c.LabelNoise {
-			flip := int32(noiseRng.Intn(k - 1))
-			if flip >= code {
-				flip++
-			}
-			code = flip
-		}
-		tu.Cont[AttrSalary] = v.salary
-		tu.Cont[AttrCommission] = v.commission
-		tu.Cont[AttrAge] = v.age
-		tu.Cat[AttrElevel] = v.elevel
-		tu.Cat[AttrCar] = v.car
-		tu.Cat[AttrZipcode] = v.zipcode
-		tu.Cont[AttrHvalue] = v.hvalue
-		tu.Cont[AttrHyears] = v.hyears
-		tu.Cont[AttrLoan] = v.loan
-		for a := numBaseAttrs; a < len(schema.Attrs); a++ {
-			if schema.Attrs[a].Kind == dataset.Continuous {
-				tu.Cont[a] = rng.Float64() * 1000
-			} else {
-				tu.Cat[a] = int32(rng.Intn(len(schema.Attrs[a].Categories)))
-			}
-		}
-		tu.Class = code
 		tbl.AppendFast(tu)
 	}
-	return tbl, nil
 }
 
 // drawTuple samples the nine canonical attributes per the AIS distributions.

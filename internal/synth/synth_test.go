@@ -233,3 +233,49 @@ func TestZeroTuples(t *testing.T) {
 		t.Fatal("want empty table")
 	}
 }
+
+// TestStreamerMatchesGenerate checks the streaming generator is
+// row-for-row identical to the materializing one for a config exercising
+// every feature: noise attributes, perturbation, label noise and a
+// multi-class labeling.
+func TestStreamerMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Function: 7, Attrs: 14, Tuples: 5000, Seed: 99,
+		Perturbation: 0.05, LabelNoise: 0.1, Classes: 3,
+	}
+	tbl, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining() != cfg.Tuples {
+		t.Fatalf("Remaining() = %d, want %d", s.Remaining(), cfg.Tuples)
+	}
+	for i := 0; i < cfg.Tuples; i++ {
+		tu, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at tuple %d of %d", i, cfg.Tuples)
+		}
+		if tu.Class != tbl.Class(i) {
+			t.Fatalf("tuple %d: class %d, table has %d", i, tu.Class, tbl.Class(i))
+		}
+		for a := range s.Schema().Attrs {
+			if s.Schema().Attrs[a].Kind == dataset.Continuous {
+				if tu.Cont[a] != tbl.ContColumn(a)[i] {
+					t.Fatalf("tuple %d attr %d: %v vs %v", i, a, tu.Cont[a], tbl.ContColumn(a)[i])
+				}
+			} else if tu.Cat[a] != tbl.CatColumn(a)[i] {
+				t.Fatalf("tuple %d attr %d: %v vs %v", i, a, tu.Cat[a], tbl.CatColumn(a)[i])
+			}
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream produced more than Tuples rows")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d after exhaustion", s.Remaining())
+	}
+}

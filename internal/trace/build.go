@@ -30,6 +30,9 @@ const (
 	// PhaseIdle is time spent waiting for work: MWK window/condition
 	// waits and SUBTREE free-queue sleeps.
 	PhaseIdle
+	// PhaseBin is the HIST engine's quantile-sketch binning pass, one unit
+	// per attribute. The exact engines never record it.
+	PhaseBin
 	// NumBuildPhases is the bucket count.
 	NumBuildPhases
 )
@@ -47,6 +50,8 @@ func (p BuildPhase) String() string {
 		return "barrier"
 	case PhaseIdle:
 		return "idle"
+	case PhaseBin:
+		return "bin"
 	default:
 		return "?"
 	}

@@ -63,6 +63,15 @@ const (
 	// attribute lists); it grows the identical tree through a different
 	// data organization and ignores Procs and Storage.
 	SLIQ
+	// Hist is the approximate histogram-binned engine: continuous
+	// attributes are pre-binned into at most MaxBins quantile bins, splits
+	// are evaluated over per-node class×bin histograms and nodes are
+	// partitioned by permuting a row-index array — no attribute lists, no
+	// pre-sort, no list rewriting. Its splits land on bin boundaries
+	// instead of exact record mid-points, trading a bounded accuracy delta
+	// for builds that scale past the exact engines' practical row limits.
+	// It requires Memory storage, the default probe and an unset WindowK.
+	Hist
 )
 
 // String names the algorithm.
@@ -87,6 +96,13 @@ func coreAlgorithm(a Algorithm) core.Algorithm {
 		return core.Subtree
 	case RecordParallel:
 		return core.RecPar
+	case Hist:
+		return core.Hist
+	case SLIQ:
+		// SLIQ never reaches the core engine; map it to an invalid core
+		// value so a misrouted config fails validation instead of silently
+		// selecting whichever core algorithm shares the integer.
+		return core.Algorithm(-1)
 	default:
 		return core.Algorithm(int(a))
 	}
@@ -141,6 +157,10 @@ type Options struct {
 	// MinGiniGain requires each split to reduce gini by at least this
 	// much (default 0, pure SPRINT behaviour).
 	MinGiniGain float64
+	// MaxBins is the Hist engine's bin budget per continuous attribute
+	// (default 256, valid 2..65536). Setting it with any other algorithm
+	// is rejected by Validate.
+	MaxBins int
 	// Prune applies MDL pruning after growth.
 	Prune bool
 	// PartialPrune uses SLIQ's partial-pruning option set (a child may be
@@ -162,6 +182,7 @@ func (o Options) coreConfig() core.Config {
 		MinSplit:      int64(o.MinSplit),
 		MaxDepth:      o.MaxDepth,
 		MinGiniGain:   o.MinGiniGain,
+		MaxBins:       o.MaxBins,
 		ParallelSetup: o.ParallelSetup,
 		TempDir:       o.TempDir,
 	}

@@ -12,7 +12,7 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: %s", ErrBadOption, fmt.Sprintf(format, args...))
 	}
 	switch o.Algorithm {
-	case Serial, Basic, FWK, MWK, Subtree, RecordParallel, SLIQ:
+	case Serial, Basic, FWK, MWK, Subtree, RecordParallel, SLIQ, Hist:
 	default:
 		return bad("unknown algorithm %d", int(o.Algorithm))
 	}
@@ -49,6 +49,30 @@ func (o Options) Validate() error {
 	}
 	if o.Algorithm == SLIQ && o.Storage == Disk {
 		return bad("SLIQ supports Memory storage only")
+	}
+	if o.MaxBins != 0 {
+		if o.Algorithm != Hist {
+			return bad("MaxBins applies to the Hist algorithm only, got algorithm %v", o.Algorithm)
+		}
+		if o.MaxBins < 2 || o.MaxBins > 65536 {
+			return bad("MaxBins must be in [2,65536] (or 0 for the default 256), got %d", o.MaxBins)
+		}
+	}
+	// Hist keeps no attribute lists, so the options that tune them would be
+	// silently ignored; reject them instead.
+	if o.Algorithm == Hist {
+		if o.Storage == Disk {
+			return bad("Hist supports Memory storage only (it keeps no attribute lists)")
+		}
+		if o.TempDir != "" {
+			return bad("TempDir is unused by Hist (it keeps no attribute-list files)")
+		}
+		if o.Probe != GlobalBitProbe {
+			return bad("Probe is unused by Hist (it splits by row-index permutation, not probes)")
+		}
+		if o.WindowK != 0 {
+			return bad("WindowK applies to FWK/MWK only, not Hist")
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package parclass
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -26,6 +27,19 @@ func TestValidate(t *testing.T) {
 		{"recpar hash probe", Options{Algorithm: RecordParallel, Probe: LeafHashProbe}, false},
 		{"recpar global bit", Options{Algorithm: RecordParallel}, true},
 		{"sliq on disk", Options{Algorithm: SLIQ, Storage: Disk}, false},
+		{"hist defaults", Options{Algorithm: Hist}, true},
+		{"hist max bins", Options{Algorithm: Hist, MaxBins: 64, Procs: 4}, true},
+		{"hist bins floor", Options{Algorithm: Hist, MaxBins: 65536}, true},
+		{"hist bins too few", Options{Algorithm: Hist, MaxBins: 1}, false},
+		{"hist bins negative", Options{Algorithm: Hist, MaxBins: -8}, false},
+		{"hist bins too many", Options{Algorithm: Hist, MaxBins: 65537}, false},
+		{"max bins without hist", Options{Algorithm: MWK, MaxBins: 64}, false},
+		{"max bins default alg", Options{MaxBins: 256}, false},
+		{"hist on disk", Options{Algorithm: Hist, Storage: Disk}, false},
+		{"hist temp dir", Options{Algorithm: Hist, TempDir: "/tmp/x"}, false},
+		{"hist hash probe", Options{Algorithm: Hist, Probe: LeafHashProbe}, false},
+		{"hist relabel probe", Options{Algorithm: Hist, Probe: LeafRelabelProbe}, false},
+		{"hist window", Options{Algorithm: Hist, WindowK: 4}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -42,6 +56,27 @@ func TestValidate(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestValidateNamesField checks the Hist rejections name the offending
+// option, so a server operator can fix the request from the message alone.
+func TestValidateNamesField(t *testing.T) {
+	cases := []struct {
+		opt   Options
+		field string
+	}{
+		{Options{Algorithm: Hist, MaxBins: 1}, "MaxBins"},
+		{Options{Algorithm: Basic, MaxBins: 64}, "MaxBins"},
+		{Options{Algorithm: Hist, TempDir: "/tmp/x"}, "TempDir"},
+		{Options{Algorithm: Hist, Probe: LeafHashProbe}, "Probe"},
+		{Options{Algorithm: Hist, WindowK: 2}, "WindowK"},
+	}
+	for _, tc := range cases {
+		err := tc.opt.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("Validate(%+v) = %v, want error naming %s", tc.opt, err, tc.field)
+		}
 	}
 }
 
