@@ -39,11 +39,13 @@ race:
 # internal/core/chaos_test.go and phasefault_test.go).
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPhaseFaults|TestStoreCloseErrorSurfaces|TestTempDirRemovedOnStoreCtorFailure|TestHistChaos' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestChaosForest' .
 
 # The build-phase observability sweep: real instrumented builds over the
-# paper's F1/F7 pair, written to the checked-in BENCH_build.json.
+# paper's F1/F7 pair plus the forest build/serve rows, written to the
+# checked-in BENCH_build.json.
 bench:
-	$(GO) run ./cmd/benchjson -repeat 2 -out BENCH_build.json
+	$(GO) run ./cmd/benchjson -repeat 2 -forest-trees 1,5,25 -out BENCH_build.json
 
 # Diff the checked-in sweep against the previous PR's baseline; fails on a
 # >10% build-time regression in any matched run.

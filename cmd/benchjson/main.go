@@ -31,15 +31,21 @@ import (
 
 	parclass "repro"
 	"repro/internal/bench"
+	"repro/internal/dataset"
 	"repro/internal/loadtest"
 	"repro/internal/serve"
 )
 
-// run is one (dataset, algorithm, procs) build measurement.
+// run is one (dataset, algorithm, procs) build measurement. Forest rows
+// (from -forest-trees) also carry Trees and the fused-vote serve rate.
 type run struct {
-	Dataset      string  `json:"dataset"`
-	Algorithm    string  `json:"algorithm"`
-	Procs        int     `json:"procs"`
+	Dataset string `json:"dataset"`
+	// Algorithm is "forest" for -forest-trees rows.
+	Algorithm string `json:"algorithm"`
+	Procs     int    `json:"procs"`
+	// Trees is the ensemble size of a forest row (omitted for single-tree
+	// builds, so pre-forest baselines keep their compare keys).
+	Trees        int     `json:"trees,omitempty"`
 	BuildSeconds float64 `json:"build_seconds"`
 	SetupSeconds float64 `json:"setup_seconds"`
 	SortSeconds  float64 `json:"sort_seconds"`
@@ -56,6 +62,10 @@ type run struct {
 	Skew           float64            `json:"skew"`
 	Efficiency     float64            `json:"efficiency"`
 	Speedup        float64            `json:"speedup_vs_serial"`
+
+	// PredictRowsPerSec is the fused batch-vote throughput of a forest row
+	// (positional rows through PredictValuesBatch).
+	PredictRowsPerSec float64 `json:"predict_rows_per_sec,omitempty"`
 }
 
 // serveRun is one serving-throughput measurement (`-serve` mode): loadgen's
@@ -109,6 +119,9 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare two reports (args: old.json new.json) and fail on >10% build-time regressions")
 		serveMode = flag.Bool("serve", false,
 			"run the serving benchmark instead of the build sweep: loadgen's driver against an in-process server, appending serve_runs to -out")
+		forestTrees = flag.String("forest-trees", "",
+			"comma-separated forest sizes to measure (build wall clock + fused-vote serve rate per size); empty disables")
+		forestSpec = flag.String("forest-dataset", "F7-A32-D20K", "synthetic spec for the -forest-trees sweep")
 		serveSpec  = flag.String("serve-dataset", "F7-A32-D20K", "synthetic spec for the -serve model")
 		serveDur   = flag.Duration("serve-duration", 5*time.Second, "length of each -serve measurement")
 		serveConc  = flag.Int("serve-concurrency", 32, "closed-loop concurrency for -serve")
@@ -214,6 +227,26 @@ func main() {
 		}
 	}
 
+	// Forest rows: ensemble build wall clock plus the fused batch-vote
+	// serve rate, one row per tree count.
+	if sizes, err := parseInts(*forestTrees); err == nil && len(sizes) > 0 {
+		ds, err := loadDataset(*forestSpec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range sizes {
+			r, err := measureForest(ds, *forestSpec, n, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Runs = append(rep.Runs, r)
+			log.Printf("%-14s forest  T=%-3d build=%.3fs predict=%s rows/s",
+				*forestSpec, n, r.BuildSeconds, fmtServeRate(r.PredictRowsPerSec))
+		}
+	} else if err != nil && *forestTrees != "" {
+		log.Fatal(err)
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -309,6 +342,74 @@ func measure(ds *parclass.Dataset, spec string, alg parclass.Algorithm, procs in
 	return r, nil
 }
 
+// measureForest trains an n-tree forest and measures the fused batch-vote
+// serve rate: positional string rows through Forest.PredictValuesBatch,
+// the same path the server's micro-batcher dispatches into.
+func measureForest(ds *parclass.Dataset, spec string, n int, seed int64) (run, error) {
+	start := time.Now()
+	f, err := parclass.TrainForest(ds, parclass.Options{
+		Trees: n, ForestSeed: seed, FeatureFrac: 0.7,
+	})
+	if err != nil {
+		return run{}, fmt.Errorf("%s/forest/T=%d: %w", spec, n, err)
+	}
+	wall := time.Since(start).Seconds()
+	if err := f.Compile(); err != nil {
+		return run{}, err
+	}
+	st := f.Stats()
+	r := run{
+		Dataset:      spec,
+		Algorithm:    "forest",
+		Procs:        1,
+		Trees:        n,
+		BuildSeconds: wall,
+		Nodes:        st.Nodes,
+		Levels:       st.Levels,
+	}
+
+	rows := positionalRows(ds, 4096)
+	// Warm once, then time whole batches until ~400ms has elapsed; the
+	// ratio is stable well before that on every ensemble size.
+	if _, err := f.PredictValuesBatch(rows); err != nil {
+		return run{}, err
+	}
+	var done int
+	bench := time.Now()
+	for time.Since(bench) < 400*time.Millisecond {
+		if _, err := f.PredictValuesBatch(rows); err != nil {
+			return run{}, err
+		}
+		done += len(rows)
+	}
+	r.PredictRowsPerSec = float64(done) / time.Since(bench).Seconds()
+	return r, nil
+}
+
+// positionalRows re-encodes the first n tuples as positional string rows
+// in schema attribute order — the PredictValuesBatch wire form.
+func positionalRows(ds *parclass.Dataset, n int) [][]string {
+	tbl := ds.Table()
+	s := tbl.Schema()
+	if n > tbl.NumTuples() {
+		n = tbl.NumTuples()
+	}
+	rows := make([][]string, n)
+	for i := range rows {
+		tu := tbl.Row(i)
+		vals := make([]string, len(s.Attrs))
+		for a := range s.Attrs {
+			if s.Attrs[a].Kind == dataset.Continuous {
+				vals[a] = strconv.FormatFloat(tu.Cont[a], 'g', -1, 64)
+			} else {
+				vals[a] = s.Attrs[a].Categories[tu.Cat[a]]
+			}
+		}
+		rows[i] = vals
+	}
+	return rows
+}
+
 // compareReports diffs two benchjson documents run by run (matched on
 // dataset, algorithm and processor count), prints per-run build-time ratios
 // and allocation deltas, and returns an error when any matched run regressed
@@ -327,6 +428,12 @@ func compareReports(oldPath, newPath string) error {
 		var order []string
 		for _, r := range rep.Runs {
 			key := fmt.Sprintf("%s/%s/P=%d", r.Dataset, r.Algorithm, r.Procs)
+			// Forest rows get their own key space; single-tree keys are
+			// unchanged so old baselines still match ("(no baseline)" for
+			// forest rows against a pre-forest file is expected).
+			if r.Trees > 0 {
+				key += fmt.Sprintf("/T=%d", r.Trees)
+			}
 			m[key] = r
 			order = append(order, key)
 		}

@@ -48,6 +48,11 @@ func main() {
 		modelPath = flag.String("model", "", "load a saved model instead of training")
 		predict   = flag.String("predict", "", "classify this CSV with the model; predictions to stdout")
 		cvFolds   = flag.Int("cv", 0, "run k-fold cross-validation instead of a single train")
+
+		trees       = flag.Int("trees", 0, "train a bagged forest of this many trees (0/1 = single tree)")
+		sampleFrac  = flag.Float64("sample-frac", 0, "bootstrap sample fraction per tree (0 = classic bootstrap)")
+		featureFrac = flag.Float64("feature-frac", 0, "attribute subsample fraction per tree (0 = all attributes)")
+		forestSeed  = flag.Int64("forest-seed", 0, "forest bootstrap/feature RNG seed")
 	)
 	flag.Parse()
 
@@ -131,51 +136,74 @@ func main() {
 		train, test = ds.SplitHoldout(*holdout)
 	}
 
-	model, err := parclass.Train(train, opt)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		model parclass.Predictor
+		tm    parclass.Timings
+	)
+	if *trees > 1 || *sampleFrac != 0 || *featureFrac != 0 || *forestSeed != 0 {
+		opt.Trees = *trees
+		opt.SampleFrac = *sampleFrac
+		opt.FeatureFrac = *featureFrac
+		opt.ForestSeed = *forestSeed
+		f, err := parclass.TrainForest(train, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, tm = f, f.Timings()
+	} else {
+		m, err := parclass.Train(train, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, tm = m, m.Timings()
 	}
 
-	tm := model.Timings()
 	st := model.Stats()
 	fmt.Printf("trained on %d tuples, %d attributes with %v (procs=%d)\n",
 		train.NumRows(), train.NumAttrs(), opt.Algorithm, *procs)
+	if nt := model.NumTrees(); nt > 1 {
+		fmt.Printf("forest: %d trees (sample-frac=%g feature-frac=%g seed=%d)\n",
+			nt, *sampleFrac, *featureFrac, *forestSeed)
+	}
 	fmt.Printf("timings: setup=%v sort=%v build=%v total=%v\n",
 		tm.Setup.Round(1000), tm.Sort.Round(1000), tm.Build.Round(1000), tm.Total().Round(1000))
 	fmt.Printf("tree: %d nodes, %d leaves, %d levels, max %d leaves/level\n",
 		st.Nodes, st.Leaves, st.Levels, st.MaxLeavesPerLevel)
-	if *doPrune {
-		fmt.Printf("pruning collapsed %d subtrees\n", model.PrunedSubtrees())
-	}
 	fmt.Printf("training accuracy: %.4f\n", model.Accuracy(train))
 	if test != nil && test.NumRows() > 0 {
 		fmt.Printf("holdout accuracy (%d tuples): %.4f\n", test.NumRows(), model.Accuracy(test))
 	}
-	if imp := model.AttrImportance(); len(imp) > 0 {
-		n := len(imp)
-		if n > 5 {
-			n = 5
+	// The single-tree extras: importance, rendering, pruning report, SQL.
+	if m, ok := model.(*parclass.Model); ok {
+		if *doPrune {
+			fmt.Printf("pruning collapsed %d subtrees\n", m.PrunedSubtrees())
 		}
-		fmt.Printf("top split attributes: %s\n", strings.Join(imp[:n], ", "))
-	}
-	if *showTree {
-		fmt.Println("\n" + model.String())
-	}
-	if *showRules {
-		fmt.Println()
-		for _, r := range model.Rules() {
-			fmt.Println(r)
+		if imp := m.AttrImportance(); len(imp) > 0 {
+			n := len(imp)
+			if n > 5 {
+				n = 5
+			}
+			fmt.Printf("top split attributes: %s\n", strings.Join(imp[:n], ", "))
 		}
-	}
-	if *metrics {
-		eva := train
-		if test != nil && test.NumRows() > 0 {
-			eva = test
+		if *showTree {
+			fmt.Println("\n" + m.String())
 		}
-		fmt.Println("\n" + model.Evaluate(eva).Pretty)
-	}
-	if *showSQL {
-		fmt.Println("\n" + model.SQL())
+		if *showRules {
+			fmt.Println()
+			for _, r := range m.Rules() {
+				fmt.Println(r)
+			}
+		}
+		if *metrics {
+			eva := train
+			if test != nil && test.NumRows() > 0 {
+				eva = test
+			}
+			fmt.Println("\n" + m.Evaluate(eva).Pretty)
+		}
+		if *showSQL {
+			fmt.Println("\n" + m.SQL())
+		}
 	}
 	if *saveModel != "" {
 		if err := model.SaveModel(*saveModel); err != nil {
@@ -197,7 +225,12 @@ func runSavedModel(modelPath, predictPath, dataPath string) error {
 		return err
 	}
 	st := model.Stats()
-	fmt.Printf("loaded model: %d nodes, %d leaves, %d levels\n", st.Nodes, st.Leaves, st.Levels)
+	if nt := model.NumTrees(); nt > 1 {
+		fmt.Printf("loaded forest: %d trees, %d nodes, %d leaves, %d levels\n",
+			nt, st.Nodes, st.Leaves, st.Levels)
+	} else {
+		fmt.Printf("loaded model: %d nodes, %d leaves, %d levels\n", st.Nodes, st.Leaves, st.Levels)
+	}
 	if dataPath != "" {
 		ds, err := parclass.LoadCSV(dataPath)
 		if err != nil {
@@ -213,7 +246,7 @@ func runSavedModel(modelPath, predictPath, dataPath string) error {
 
 // scoreCSV classifies every row of a labeled CSV and prints predictions
 // plus accuracy against the CSV's own class column.
-func scoreCSV(model *parclass.Model, path string) error {
+func scoreCSV(model parclass.Predictor, path string) error {
 	ds, err := parclass.LoadCSV(path)
 	if err != nil {
 		return err

@@ -57,7 +57,11 @@ func main() {
 		doPrune   = flag.Bool("prune", false, "apply MDL pruning after growth")
 		bgTrain   = flag.Bool("background-train", false,
 			"start serving before training finishes; watch the build live on /metrics")
-		batchRows = flag.Int("batch-rows", serve.DefaultBatchMaxRows,
+		trees       = flag.Int("trees", 0, "train a bagged forest of this many trees (0/1 = single tree)")
+		sampleFrac  = flag.Float64("sample-frac", 0, "bootstrap sample fraction per tree (0 = classic bootstrap)")
+		featureFrac = flag.Float64("feature-frac", 0, "attribute subsample fraction per tree (0 = all attributes)")
+		forestSeed  = flag.Int64("forest-seed", 0, "forest bootstrap/feature RNG seed")
+		batchRows   = flag.Int("batch-rows", serve.DefaultBatchMaxRows,
 			"micro-batcher window: flush after this many coalesced rows (0 disables server-side batching)")
 		batchLinger = flag.Duration("batch-linger", serve.DefaultBatchLinger,
 			"micro-batcher window: flush this long after the first queued request")
@@ -92,8 +96,11 @@ func main() {
 			*batchRows, *batchLinger, *queueDepth)
 	}
 
+	fc := forestConfig{
+		Trees: *trees, SampleFrac: *sampleFrac, FeatureFrac: *featureFrac, Seed: *forestSeed,
+	}
 	train := func() error {
-		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *maxBins, *doPrune, mon)
+		model, source, err := buildModel(*modelPath, *data, *synthetic, *seed, *algorithm, *procs, *maxDepth, *maxBins, *doPrune, fc, mon)
 		if err != nil {
 			return err
 		}
@@ -101,9 +108,16 @@ func main() {
 			return err
 		}
 		st := model.Stats()
-		log.Printf("model %q ready (%s): %d nodes, %d leaves, %d levels", *name, source, st.Nodes, st.Leaves, st.Levels)
-		if bt := model.BuildTrace(); bt != nil {
-			log.Printf("build breakdown:\n%s", bt.Format())
+		if nt := model.NumTrees(); nt > 1 {
+			log.Printf("forest %q ready (%s): %d trees, %d nodes, %d leaves, %d levels",
+				*name, source, nt, st.Nodes, st.Leaves, st.Levels)
+		} else {
+			log.Printf("model %q ready (%s): %d nodes, %d leaves, %d levels", *name, source, st.Nodes, st.Leaves, st.Levels)
+		}
+		if m, ok := model.(*parclass.Model); ok {
+			if bt := m.BuildTrace(); bt != nil {
+				log.Printf("build breakdown:\n%s", bt.Format())
+			}
 		}
 		return nil
 	}
@@ -153,9 +167,23 @@ func main() {
 	s.Close()
 }
 
-// buildModel trains or loads the initial model and describes its origin.
+// forestConfig carries the -trees/-sample-frac/-feature-frac/-forest-seed
+// flags; the zero value means a single tree.
+type forestConfig struct {
+	Trees       int
+	SampleFrac  float64
+	FeatureFrac float64
+	Seed        int64
+}
+
+func (fc forestConfig) enabled() bool {
+	return fc.Trees > 1 || fc.SampleFrac != 0 || fc.FeatureFrac != 0 || fc.Seed != 0
+}
+
+// buildModel trains or loads the initial classifier (a single tree, or a
+// forest when fc is set) and describes its origin.
 func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
-	procs, maxDepth, maxBins int, doPrune bool, mon *parclass.BuildMonitor) (*parclass.Model, string, error) {
+	procs, maxDepth, maxBins int, doPrune bool, fc forestConfig, mon *parclass.BuildMonitor) (parclass.Predictor, string, error) {
 	if modelPath != "" {
 		m, err := parclass.LoadModel(modelPath)
 		return m, "loaded " + modelPath, err
@@ -206,6 +234,17 @@ func buildModel(modelPath, data, synthetic string, seed int64, algorithm string,
 		opt.MaxBins = maxBins
 	default:
 		return nil, "", fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	if fc.enabled() {
+		opt.Trees = fc.Trees
+		opt.SampleFrac = fc.SampleFrac
+		opt.FeatureFrac = fc.FeatureFrac
+		opt.ForestSeed = fc.Seed
+		// The monitor watches single-tree builds only; member builds
+		// interleave, so Validate rejects the combination.
+		opt.Monitor = nil
+		f, err := parclass.TrainForest(ds, opt)
+		return f, source, err
 	}
 	m, err := parclass.Train(ds, opt)
 	return m, source, err

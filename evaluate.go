@@ -25,22 +25,37 @@ func (m *Model) WriteModel(w io.Writer) error {
 	return m.tree.Write(w)
 }
 
-// LoadModel reads a model previously written with SaveModel.
-func LoadModel(path string) (*Model, error) {
-	tr, err := tree.ReadFile(path)
+// LoadModel reads a classifier previously written with SaveModel — either
+// shape: a v1 file yields a *Model, a v2 forest file a *Forest.
+func LoadModel(path string) (Predictor, error) {
+	f, err := tree.ReadAnyFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return newModel(tr), nil
+	return predictorFromFile(f)
 }
 
-// ReadModel deserializes a model from r — the streaming form of LoadModel.
-func ReadModel(r io.Reader) (*Model, error) {
-	tr, err := tree.Read(r)
+// ReadModel deserializes a classifier from r — the streaming form of
+// LoadModel. It accepts both the v1 single-tree envelope and the v2
+// multi-tree envelope.
+func ReadModel(r io.Reader) (Predictor, error) {
+	f, err := tree.ReadAny(r)
 	if err != nil {
 		return nil, err
 	}
-	return newModel(tr), nil
+	return predictorFromFile(f)
+}
+
+// predictorFromFile wraps a decoded model file in the matching shape.
+func predictorFromFile(f *tree.File) (Predictor, error) {
+	if len(f.Trees) == 1 && f.Forest == nil {
+		return newModel(f.Trees[0]), nil
+	}
+	meta := f.Forest
+	if meta == nil {
+		meta = &tree.ForestMeta{}
+	}
+	return newForest(f.Trees, meta.SampleFrac, meta.FeatureFrac, meta.Seed), nil
 }
 
 // Metrics summarizes a model's performance on a dataset.

@@ -23,7 +23,11 @@ func TestSaveLoadModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.String() != m.String() {
+	backM, ok := back.(*Model)
+	if !ok {
+		t.Fatalf("v1 file loaded as %T, want *Model", back)
+	}
+	if backM.String() != m.String() {
 		t.Fatal("loaded model renders differently")
 	}
 	if got, want := back.Accuracy(ds), m.Accuracy(ds); got != want {

@@ -82,7 +82,7 @@ func ExampleModel_SaveModel() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("identical after reload: %v\n", loaded.String() == model.String())
+	fmt.Printf("identical after reload: %v\n", loaded.(*parclass.Model).String() == model.String())
 	// Output: identical after reload: true
 }
 

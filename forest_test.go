@@ -1,0 +1,366 @@
+package parclass
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/alist"
+	"repro/internal/alist/faultstore"
+	"repro/internal/tree"
+)
+
+// A degenerate forest — one tree, full sample in original order, every
+// attribute — must be the tree Train grows, and must predict identically
+// on every row.
+func TestForestSingleTreeMatchesModel(t *testing.T) {
+	for fn := 1; fn <= 7; fn++ {
+		t.Run(fmt.Sprintf("F%d", fn), func(t *testing.T) {
+			ds := synthDS(t, fn, 10000)
+			m, err := Train(ds, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := TrainForest(ds, Options{Trees: 1, SampleFrac: 1, FeatureFrac: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.NumTrees() != 1 {
+				t.Fatalf("NumTrees = %d, want 1", f.NumTrees())
+			}
+			if !tree.Equal(m.Tree(), f.Trees()[0]) {
+				t.Fatalf("member tree differs from Train's tree:\n%s", tree.Diff(m.Tree(), f.Trees()[0]))
+			}
+			mp, fp := m.PredictDataset(ds), f.PredictDataset(ds)
+			for i := range mp {
+				if mp[i] != fp[i] {
+					t.Fatalf("row %d: model=%s forest=%s", i, mp[i], fp[i])
+				}
+			}
+			if ma, fa := m.Accuracy(ds), f.Accuracy(ds); ma != fa {
+				t.Fatalf("accuracy %g != %g", ma, fa)
+			}
+		})
+	}
+}
+
+// The forest is a pure function of (data, options, seed): the worker count
+// schedules the same member trees, it never changes them.
+func TestForestDeterministicAcrossProcs(t *testing.T) {
+	ds := synthDS(t, 2, 2000)
+	opt := Options{Trees: 8, ForestSeed: 42, FeatureFrac: 0.5, MaxDepth: 8}
+	var base *Forest
+	for _, procs := range []int{1, 2, 4} {
+		opt.Procs = procs
+		f, err := TrainForest(ds, opt)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if base == nil {
+			base = f
+			continue
+		}
+		for i := range base.trees {
+			if !tree.Equal(base.trees[i], f.trees[i]) {
+				t.Fatalf("procs=%d: member %d differs from procs=1:\n%s",
+					procs, i, tree.Diff(base.trees[i], f.trees[i]))
+			}
+		}
+	}
+}
+
+// Proba must be the member vote distribution and agree with the majority
+// prediction on every path (named, positional, batch).
+func TestForestProbaMatchesVotes(t *testing.T) {
+	ds := synthDS(t, 6, 3000)
+	f, err := TrainForest(ds, Options{Trees: 9, ForestSeed: 3, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ds.AttrNames()
+	vrows := datasetValueRows(ds, 50)
+	for i, vals := range vrows {
+		pred, proba, err := f.PredictValuesProba(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		best, bestP := "", -1.0
+		for _, c := range f.schema.Classes {
+			p := proba[c]
+			sum += p
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d: proba sums to %g", i, sum)
+		}
+		if proba[pred] != bestP || best != pred {
+			// Ties go to the lowest class code; best scans in class order,
+			// so a disagreement means proba and the vote diverged.
+			t.Fatalf("row %d: prediction %s has proba %g, max is %s=%g",
+				i, pred, proba[pred], best, bestP)
+		}
+		row := make(map[string]string, len(names))
+		for a, name := range names {
+			row[name] = vals[a]
+		}
+		pred2, proba2, err := f.PredictProba(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred2 != pred {
+			t.Fatalf("row %d: named path predicts %s, positional %s", i, pred2, pred)
+		}
+		for c, p := range proba {
+			if proba2[c] != p {
+				t.Fatalf("row %d class %s: named proba %g != positional %g", i, c, proba2[c], p)
+			}
+		}
+	}
+}
+
+// Batch paths must agree with the single-row vote.
+func TestForestBatchMatchesSingle(t *testing.T) {
+	ds := synthDS(t, 3, 2500)
+	f, err := TrainForest(ds, Options{Trees: 5, ForestSeed: 1, Procs: 2, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	rows := datasetValueRows(ds, n)
+	batch, err := f.PredictValuesBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vals := range rows {
+		single, err := f.PredictValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != batch[i] {
+			t.Fatalf("row %d: single=%s batch=%s", i, single, batch[i])
+		}
+	}
+	dsPreds := f.PredictDataset(ds)
+	for i := 0; i < n; i++ {
+		if dsPreds[i] != batch[i] {
+			t.Fatalf("row %d: dataset=%s batch=%s", i, dsPreds[i], batch[i])
+		}
+	}
+}
+
+// The v2 envelope round-trips a forest through the public API, and the
+// loaded shape is a *Forest that predicts identically.
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	ds := synthDS(t, 5, 2000)
+	f, err := TrainForest(ds, Options{Trees: 4, ForestSeed: 9, SampleFrac: 0.8, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "forest.json")
+	if err := f.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := back.(*Forest)
+	if !ok {
+		t.Fatalf("loaded %T, want *Forest", back)
+	}
+	if bf.NumTrees() != 4 {
+		t.Fatalf("loaded NumTrees = %d, want 4", bf.NumTrees())
+	}
+	if bf.sampleFrac != 0.8 || bf.seed != 9 {
+		t.Fatalf("forest meta lost: sampleFrac=%g seed=%d", bf.sampleFrac, bf.seed)
+	}
+	a, b := f.PredictDataset(ds), bf.PredictDataset(ds)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: prediction changed after reload: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// A streamed write round-trips the same way.
+	var buf bytes.Buffer
+	if err := f.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pre-forest v1 artifacts must keep loading byte-for-byte: the pinned
+// testdata file was written by the v1 single-tree encoder.
+func TestLoadModelAcceptsPinnedV1Artifact(t *testing.T) {
+	back, err := LoadModel(filepath.Join("testdata", "model_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := back.(*Model)
+	if !ok {
+		t.Fatalf("v1 artifact loaded as %T, want *Model", back)
+	}
+	if m.NumTrees() != 1 {
+		t.Fatalf("NumTrees = %d, want 1", m.NumTrees())
+	}
+	// The artifact is an F1 model: the age rule. Young (age < 40) and old
+	// (age >= 60) are GroupA, the middle band GroupB.
+	pred, err := m.Predict(map[string]string{
+		"salary": "60000", "commission": "20000", "age": "30", "elevel": "e2",
+		"car": "make3", "zipcode": "zip1", "hvalue": "100000", "hyears": "10",
+		"loan": "100000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != "GroupA" {
+		t.Fatalf("pinned v1 model predicts %q for age 30, want GroupA", pred)
+	}
+}
+
+// Train must refuse forest knobs rather than silently ignore them.
+func TestTrainRejectsForestOptions(t *testing.T) {
+	ds := synthDS(t, 1, 500)
+	for _, opt := range []Options{
+		{Trees: 3},
+		{SampleFrac: 0.5},
+		{FeatureFrac: 0.5},
+		{ForestSeed: 7},
+	} {
+		if _, err := Train(ds, opt); !errors.Is(err, ErrBadOption) {
+			t.Fatalf("Train(%+v) err = %v, want ErrBadOption", opt, err)
+		}
+	}
+}
+
+// --- chaos: a failing or panicking member build aborts the whole forest ---
+
+// TestChaosForestMemberError injects a hard store fault into one member
+// build; the forest must fail promptly with the member's wrapped error and
+// skip remaining trees rather than hang or return a partial ensemble.
+func TestChaosForestMemberError(t *testing.T) {
+	ds := synthDS(t, 2, 2000)
+	opt := Options{Trees: 6, Procs: 2, ForestSeed: 1}
+	opt.forestStoreWrap = func(inner alist.Store) alist.Store {
+		return faultstore.New(inner, faultstore.Match(faultstore.OpScan, 40, 0, faultstore.Fail))
+	}
+	f, err := TrainForest(ds, opt)
+	if err == nil {
+		t.Fatal("forest with a permanently failing store built successfully")
+	}
+	if f != nil {
+		t.Fatal("failed TrainForest returned a non-nil forest")
+	}
+	if !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("error does not wrap the injected fault: %v", err)
+	}
+}
+
+// TestChaosForestMemberPanic panics inside one member's build task; the
+// scheduler must contain it, abort the siblings and surface ErrWorkerPanic.
+func TestChaosForestMemberPanic(t *testing.T) {
+	ds := synthDS(t, 1, 1000)
+	opt := Options{Trees: 8, Procs: 4, ForestSeed: 2}
+	opt.forestTreeHook = func(idx int) error {
+		if idx == 5 {
+			panic("injected member panic")
+		}
+		return nil
+	}
+	_, err := TrainForest(ds, opt)
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic", err)
+	}
+}
+
+// TestChaosForestMemberHookError fails one member at task start; the error
+// must name the member and abort the run.
+func TestChaosForestMemberHookError(t *testing.T) {
+	ds := synthDS(t, 1, 1000)
+	boom := errors.New("boom")
+	opt := Options{Trees: 4, Procs: 2}
+	opt.forestTreeHook = func(idx int) error {
+		if idx == 2 {
+			return boom
+		}
+		return nil
+	}
+	_, err := TrainForest(ds, opt)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// BenchmarkForestFusedVsPerTree is the fused-voting proof: a 25-tree
+// forest served through one PredictValuesBatch call versus the same
+// ensemble served as 25 separate single-tree batch dispatches plus a vote
+// reduce. The fused path decodes each row once and walks the contiguous
+// node pool row-major; the per-tree path pays 25 decodes and dispatches.
+func BenchmarkForestFusedVsPerTree(b *testing.B) {
+	ds, err := Synthetic(SyntheticConfig{Function: 6, Tuples: 4000, Seed: 7, Perturbation: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := TrainForest(ds, Options{Trees: 25, ForestSeed: 11, MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	const rowsN = 1024
+	rows := datasetValueRows(ds, rowsN)
+	members := make([]*Model, f.NumTrees())
+	for i, tr := range f.Trees() {
+		members[i] = newModel(tr)
+		if err := members[i].Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	classIdx := make(map[string]int, len(f.schema.Classes))
+	for j, c := range f.schema.Classes {
+		classIdx[c] = j
+	}
+
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.PredictValuesBatch(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			votes := make([][]int16, rowsN)
+			for r := range votes {
+				votes[r] = make([]int16, len(f.schema.Classes))
+			}
+			for _, m := range members {
+				preds, err := m.PredictValuesBatch(rows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r, p := range preds {
+					votes[r][classIdx[p]]++
+				}
+			}
+			out := make([]string, rowsN)
+			for r := range votes {
+				best := 0
+				for j := 1; j < len(votes[r]); j++ {
+					if votes[r][j] > votes[r][best] {
+						best = j
+					}
+				}
+				out[r] = f.schema.Classes[best]
+			}
+			_ = out
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -20,8 +21,8 @@ func (e *engine) runBasic(root *leafState) error {
 		return nil
 	}
 	P := e.cfg.Procs
-	bar := newBarrier(P)
-	var ferr errOnce
+	bar := sched.NewBarrier(P)
+	var ferr sched.ErrOnce
 	var eCtr, sCtr atomic.Int64
 
 	// Shared level state; written only by the master between barriers.
@@ -40,7 +41,7 @@ func (e *engine) runBasic(root *leafState) error {
 			// E phase: dynamically grab attributes; evaluate the grabbed
 			// attribute for all leaves of the level so each attribute's
 			// physical files are read once, sequentially.
-			for !ferr.failed() {
+			for !ferr.Failed() {
 				a := int(eCtr.Add(1) - 1)
 				if a >= e.nattr {
 					break
@@ -48,24 +49,24 @@ func (e *engine) runBasic(root *leafState) error {
 				t0 := time.Now()
 				for _, l := range frontier {
 					if err := e.evalLeafAttr(l, a, sc); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 				}
 				ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(frontier)))
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 
 			// W phase: the master alone finds winners and builds probes —
 			// the sequential bottleneck MWK later removes.
-			if id == 0 && !ferr.failed() {
+			if id == 0 && !ferr.Failed() {
 				nextBase := e.pairBase(level + 1)
 				for _, l := range frontier {
 					t0 := time.Now()
 					if err := e.winnerAndProbe(l, sc); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 					if !l.didSplit {
@@ -77,19 +78,19 @@ func (e *engine) runBasic(root *leafState) error {
 							continue
 						}
 						if err := e.registerChild(c, nextBase+side); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 							break
 						}
 					}
 					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 
 			// S phase: dynamically grab attributes again and split.
-			for !ferr.failed() {
+			for !ferr.Failed() {
 				a := int(sCtr.Add(1) - 1)
 				if a >= e.nattr {
 					break
@@ -97,13 +98,13 @@ func (e *engine) runBasic(root *leafState) error {
 				t0 := time.Now()
 				for _, l := range frontier {
 					if err := e.splitLeafAttr(l, a, sc); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 				}
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(frontier)))
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 
@@ -113,7 +114,7 @@ func (e *engine) runBasic(root *leafState) error {
 				t0 := time.Now()
 				next = nil
 				for li, l := range frontier {
-					if !ferr.failed() && l.didSplit {
+					if !ferr.Failed() && l.didSplit {
 						for _, c := range l.children {
 							if !c.terminal {
 								next = append(next, childLeafState(c, li, e.nattr))
@@ -124,9 +125,9 @@ func (e *engine) runBasic(root *leafState) error {
 				}
 				curBase := e.pairBase(level)
 				if err := e.resetSlots(curBase, curBase+1); err != nil {
-					ferr.set(err)
+					ferr.Set(err)
 				}
-				if ferr.failed() {
+				if ferr.Failed() {
 					next = nil
 				}
 				frontier = next
@@ -136,7 +137,7 @@ func (e *engine) runBasic(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 			if done {
@@ -152,9 +153,9 @@ func (e *engine) runBasic(root *leafState) error {
 			defer wg.Done()
 			// A panicking worker can never rejoin the barrier protocol;
 			// breaking the barrier releases every surviving peer.
-			guard(&ferr, bar.abort, id, func() { worker(id) })
+			sched.Guard(&ferr, bar.Abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }

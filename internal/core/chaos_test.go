@@ -144,7 +144,7 @@ func TestChaosMatrix(t *testing.T) {
 					var fs *faultstore.Store
 					cfg := Config{Algorithm: alg, Procs: 3, MaxDepth: 5}
 					stor.cfg(&cfg)
-					cfg.storeWrap = func(st alist.Store) alist.Store {
+					cfg.StoreWrap = func(st alist.Store) alist.Store {
 						fs = faultstore.New(st, plan.rules...)
 						return fs
 					}
@@ -203,7 +203,7 @@ func TestChaosMatrix(t *testing.T) {
 func TestStoreCloseErrorSurfaces(t *testing.T) {
 	tbl := synthTable(t, 7, 9, 200, 11)
 	cfg := Config{Algorithm: Serial, MaxDepth: 4}
-	cfg.storeWrap = func(st alist.Store) alist.Store {
+	cfg.StoreWrap = func(st alist.Store) alist.Store {
 		return faultstore.New(st, faultstore.Match(faultstore.OpClose, 0, 1, faultstore.Fail))
 	}
 	tr, _, err := Build(tbl, cfg)
@@ -227,7 +227,7 @@ func TestTempDirRemovedOnStoreCtorFailure(t *testing.T) {
 	// there is no hook inside the constructors, so the earliest injectable
 	// failure is the first store operation — the directory must be gone
 	// either way.
-	cfg.storeWrap = func(st alist.Store) alist.Store {
+	cfg.StoreWrap = func(st alist.Store) alist.Store {
 		return faultstore.New(st, faultstore.Match(faultstore.OpReserve, 0, 0, faultstore.Fail))
 	}
 	if _, _, err := Build(tbl, cfg); err == nil {

@@ -153,18 +153,25 @@ type Config struct {
 	// faults (see alist.Retrying). The zero value selects
 	// alist.DefaultRetry (3 attempts); MaxAttempts 1 disables retrying.
 	Retry alist.RetryPolicy
+	// AttrMask, when non-nil, restricts the split search to attributes a
+	// with AttrMask[a] true — per-tree feature subsampling for forest
+	// builds. Masked attributes keep their lists (the schema is shared by
+	// every tree of a forest) but never produce a split candidate. Length
+	// must equal the schema's attribute count.
+	AttrMask []bool
+	// StoreWrap, when non-nil, wraps the store Build ends up with (created
+	// or overridden) before the retry layer is applied; used by chaos
+	// tests — and the forest trainer's fault plans — to inject faults
+	// beneath the retry path.
+	StoreWrap func(alist.Store) alist.Store
 
 	// storeOverride substitutes the attribute-list store; used by tests
 	// for fault injection.
 	storeOverride alist.Store
-	// storeWrap, when non-nil, wraps the store Build ends up with (created
-	// or overridden) before the retry layer is applied; used by chaos
-	// tests to inject faults beneath the retry path.
-	storeWrap func(alist.Store) alist.Store
 	// histHook, when non-nil, is called by every Hist work unit with the
 	// phase name and worker id before the unit runs; a returned error
 	// aborts the build. The Hist engine touches no store, so its chaos
-	// tests inject panics and faults here instead of through storeWrap.
+	// tests inject panics and faults here instead of through StoreWrap.
 	histHook func(phase string, worker int) error
 }
 
@@ -222,6 +229,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Trace != nil && c.Algorithm != Serial {
 		return c, fmt.Errorf("core: cost tracing requires Algorithm == Serial")
+	}
+	if c.AttrMask != nil {
+		any := false
+		for _, ok := range c.AttrMask {
+			if ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return c, fmt.Errorf("core: AttrMask masks every attribute")
+		}
 	}
 	if c.Retry.MaxAttempts == 0 {
 		c.Retry = alist.DefaultRetry()

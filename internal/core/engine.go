@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"os"
 	"runtime/debug"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/alist"
 	"repro/internal/dataset"
 	"repro/internal/probe"
+	"repro/internal/sched"
 	"repro/internal/split"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -81,25 +81,9 @@ type engine struct {
 // worker goroutine (or in the build goroutine itself for the serial
 // engine). The panic is contained: peers are released from every barrier,
 // condition wait and FREE-queue channel, temp storage is torn down, and
-// Build returns this error instead of crashing the process.
-var ErrWorkerPanic = errors.New("core: worker panic")
-
-// guard runs fn with panic containment for worker id: a panic is converted
-// into an ErrWorkerPanic on ferr, then teardown releases every
-// synchronization structure a peer could be blocked on (barriers, abort
-// channels, the FREE queue), so the surviving workers observe the failure
-// and unwind instead of waiting forever for the dead worker.
-func guard(ferr *errOnce, teardown func(), id int, fn func()) {
-	defer func() {
-		if p := recover(); p != nil {
-			ferr.set(fmt.Errorf("%w: worker %d: %v\n%s", ErrWorkerPanic, id, p, debug.Stack()))
-			if teardown != nil {
-				teardown()
-			}
-		}
-	}()
-	fn()
-}
+// Build returns this error instead of crashing the process. It aliases
+// sched.ErrWorkerPanic, the shared containment error of every scheduler.
+var ErrWorkerPanic = sched.ErrWorkerPanic
 
 // Build grows a decision tree over tbl according to cfg. It returns the
 // tree and the phase timing breakdown. The named results let the cleanup
@@ -130,6 +114,10 @@ func Build(tbl *dataset.Table, cfg Config) (tr *tree.Tree, tm Timings, err error
 	}
 	if e.ntuples == 0 {
 		return nil, Timings{}, fmt.Errorf("core: empty training set")
+	}
+	if cfg.AttrMask != nil && len(cfg.AttrMask) != e.nattr {
+		return nil, Timings{}, fmt.Errorf("core: AttrMask has %d entries, schema has %d attributes",
+			len(cfg.AttrMask), e.nattr)
 	}
 
 	// The Hist engine has no attribute lists: no store, no setup/sort
@@ -193,8 +181,8 @@ func Build(tbl *dataset.Table, cfg Config) (tr *tree.Tree, tm Timings, err error
 			}
 		}
 	}
-	if cfg.storeWrap != nil {
-		e.store = cfg.storeWrap(e.store)
+	if cfg.StoreWrap != nil {
+		e.store = cfg.StoreWrap(e.store)
 	}
 	// Transient store faults (interrupted syscalls, short writes, injected
 	// chaos faults) are healed in place by a bounded retry layer; permanent
@@ -311,7 +299,7 @@ func (e *engine) setup() (*leafState, error) {
 			return nil
 		}
 		var next atomic.Int64
-		var firstErr errOnce
+		var firstErr sched.ErrOnce
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -319,14 +307,14 @@ func (e *engine) setup() (*leafState, error) {
 				defer wg.Done()
 				// No teardown: setup workers share no barriers, only the
 				// grab counter, so peers drain on firstErr alone.
-				guard(&firstErr, nil, w, func() {
+				sched.Guard(&firstErr, nil, w, func() {
 					for {
 						a := int(next.Add(1) - 1)
-						if a >= e.nattr || firstErr.failed() {
+						if a >= e.nattr || firstErr.Failed() {
 							return
 						}
 						if err := fn(a); err != nil {
-							firstErr.set(err)
+							firstErr.Set(err)
 							return
 						}
 					}
@@ -334,7 +322,7 @@ func (e *engine) setup() (*leafState, error) {
 			}()
 		}
 		wg.Wait()
-		return firstErr.get()
+		return firstErr.Get()
 	}
 
 	// Phase 1 (setup): create the attribute lists.
@@ -465,6 +453,12 @@ func (e *engine) scan(sc *scratch, attr, slot int, off int64, n int, fn func([]a
 func (e *engine) evalLeafAttr(l *leafState, a int, sc *scratch) error {
 	if err := e.cancelled(); err != nil {
 		return err
+	}
+	if e.cfg.AttrMask != nil && !e.cfg.AttrMask[a] {
+		// Feature-subsampled builds never split on a masked attribute; the
+		// zero Candidate is invalid and loses every winner vote.
+		l.cands[a] = split.Candidate{}
+		return nil
 	}
 	sr := l.segs[a]
 	if e.schema.Attrs[a].Kind == dataset.Continuous {
@@ -690,33 +684,4 @@ func renumber(t *tree.Tree) {
 			queue = append(queue, n.Left, n.Right)
 		}
 	}
-}
-
-// errOnce latches the first error reported by any worker.
-type errOnce struct {
-	mu  sync.Mutex
-	err error
-}
-
-func (o *errOnce) set(err error) {
-	if err == nil {
-		return
-	}
-	o.mu.Lock()
-	if o.err == nil {
-		o.err = err
-	}
-	o.mu.Unlock()
-}
-
-func (o *errOnce) failed() bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.err != nil
-}
-
-func (o *errOnce) get() error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.err
 }

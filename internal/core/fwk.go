@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -22,8 +23,8 @@ func (e *engine) runFWK(root *leafState) error {
 	}
 	P := e.cfg.Procs
 	K := e.cfg.WindowK
-	bar := newBarrier(P)
-	var ferr errOnce
+	bar := sched.NewBarrier(P)
+	var ferr sched.ErrOnce
 
 	var next []*leafState
 	var done bool
@@ -45,14 +46,14 @@ func (e *engine) runFWK(root *leafState) error {
 				// E phase with pipelined W: walk the block's leaves in
 				// order, grabbing attributes dynamically within each leaf.
 				for _, l := range blk {
-					for !ferr.failed() {
+					for !ferr.Failed() {
 						a := l.eNext.Add(1) - 1
 						if a >= int64(e.nattr) {
 							break
 						}
 						t0 := time.Now()
 						if err := e.evalLeafAttr(l, int(a), sc); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 							break
 						}
 						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
@@ -61,27 +62,27 @@ func (e *engine) runFWK(root *leafState) error {
 							// now, while others evaluate later leaves.
 							tw := time.Now()
 							if err := e.leafWinnerRegister(l, nextBase, sc); err != nil {
-								ferr.set(err)
+								ferr.Set(err)
 							}
 							ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
 						}
 					}
 				}
 				// End-of-block synchronization (one barrier per K-block).
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
 
 				// S phase for the whole block, (leaf, attribute) units.
 				for _, l := range blk {
-					for !ferr.failed() {
+					for !ferr.Failed() {
 						a := l.sNext.Add(1) - 1
 						if a >= int64(e.nattr) {
 							break
 						}
 						t0 := time.Now()
 						if err := e.splitLeafAttr(l, int(a), sc); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 						}
 						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 						if l.sDone.Add(1) == int64(e.nattr) {
@@ -89,7 +90,7 @@ func (e *engine) runFWK(root *leafState) error {
 						}
 					}
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
 			}
@@ -105,7 +106,7 @@ func (e *engine) runFWK(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return
 			}
 			if done {
@@ -121,11 +122,11 @@ func (e *engine) runFWK(root *leafState) error {
 			defer wg.Done()
 			// A panicking worker can never rejoin the barrier protocol;
 			// breaking the barrier releases every surviving peer.
-			guard(&ferr, bar.abort, id, func() { worker(id) })
+			sched.Guard(&ferr, bar.Abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }
 
 // leafWinnerRegister performs the W step for one leaf and assigns its valid
@@ -155,10 +156,10 @@ func (e *engine) leafWinnerRegister(l *leafState, nextBase int, sc *scratch) err
 
 // windowLevelEnd builds the next frontier in leaf order and recycles the
 // level's file slots; shared by FWK and MWK.
-func (e *engine) windowLevelEnd(frontier []*leafState, level int, ferr *errOnce) []*leafState {
+func (e *engine) windowLevelEnd(frontier []*leafState, level int, ferr *sched.ErrOnce) []*leafState {
 	var next []*leafState
 	for li, l := range frontier {
-		if !ferr.failed() && l.didSplit {
+		if !ferr.Failed() && l.didSplit {
 			for _, c := range l.children {
 				if !c.terminal {
 					next = append(next, childLeafState(c, li, e.nattr))
@@ -173,9 +174,9 @@ func (e *engine) windowLevelEnd(frontier []*leafState, level int, ferr *errOnce)
 		slots[i] = curBase + i
 	}
 	if err := e.resetSlots(slots...); err != nil {
-		ferr.set(err)
+		ferr.Set(err)
 	}
-	if ferr.failed() {
+	if ferr.Failed() {
 		return nil
 	}
 	return next

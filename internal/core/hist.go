@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/hist"
+	"repro/internal/sched"
 	"repro/internal/split"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -85,8 +86,8 @@ func (e *engine) setupHist() *leafState {
 // runHist grows the tree with the HIST scheme.
 func (e *engine) runHist(root *leafState) error {
 	P := e.cfg.Procs
-	bar := newBarrier(P)
-	var ferr errOnce
+	bar := sched.NewBarrier(P)
+	var ferr sched.ErrOnce
 
 	m := hist.NewMatrix(e.schema, e.tbl.ClassColumn())
 	idx := make([]uint32, e.ntuples)
@@ -117,7 +118,7 @@ func (e *engine) runHist(root *leafState) error {
 			return true
 		}
 		if err := e.cfg.histHook(phase, id); err != nil {
-			ferr.set(err)
+			ferr.Set(err)
 			return false
 		}
 		return true
@@ -130,13 +131,13 @@ func (e *engine) runHist(root *leafState) error {
 
 		// Bin phase: dynamically grab attributes and bin their columns.
 		// Each attribute's column is written by exactly one worker.
-		for !ferr.failed() {
+		for !ferr.Failed() {
 			a := int(binCtr.Add(1) - 1)
 			if a >= e.nattr {
 				break
 			}
 			if err := e.cancelled(); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 			if !hook("bin", id) {
@@ -146,16 +147,16 @@ func (e *engine) runHist(root *leafState) error {
 			if e.schema.Attrs[a].Kind == dataset.Continuous {
 				m.BinContinuous(a, e.tbl.ContColumn(a), e.cfg.MaxBins, &sc.sample)
 			} else if err := m.BinCategorical(a, e.tbl.CatColumn(a), e.schema.Attrs[a].Cardinality()); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 			ln.Add(0, trace.PhaseBin, time.Since(t0))
 		}
-		if !bar.timedWait(ln, 0) {
+		if !bar.TimedWait(ln, 0) {
 			return
 		}
 		if id == 0 {
-			if !ferr.failed() {
+			if !ferr.Failed() {
 				t0 := time.Now()
 				m.FinishLayout()
 				blockCap = histArenaBudget / 8 / m.Stride
@@ -168,9 +169,9 @@ func (e *engine) runHist(root *leafState) error {
 				merged = make([]int64, blockCap*m.Stride)
 				ln.AddN(0, trace.PhaseBin, time.Since(t0), 0)
 			}
-			binFailed = ferr.failed()
+			binFailed = ferr.Failed()
 		}
-		if !bar.timedWait(ln, 0) {
+		if !bar.TimedWait(ln, 0) {
 			return
 		}
 		// Unwind on the master's barrier-synchronized snapshot of the bin
@@ -196,12 +197,12 @@ func (e *engine) runHist(root *leafState) error {
 
 				// E-local: accumulate this worker's contiguous row share of
 				// every leaf in the block into the private arena.
-				if !ferr.failed() && hook("accum", id) {
+				if !ferr.Failed() && hook("accum", id) {
 					t0 := time.Now()
 					var units int64
 					for li, l := range block {
 						if err := e.cancelled(); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 							break
 						}
 						cell := sc.arena[li*m.Stride : (li+1)*m.Stride]
@@ -218,7 +219,7 @@ func (e *engine) runHist(root *leafState) error {
 					}
 					ln.AddN(lvl, trace.PhaseEval, time.Since(t0), units)
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return
 				}
 
@@ -226,13 +227,13 @@ func (e *engine) runHist(root *leafState) error {
 				// histograms and search each leaf's best split for the
 				// grabbed attribute. Attribute slices of merged and of
 				// l.cands are disjoint across workers.
-				for !ferr.failed() {
+				for !ferr.Failed() {
 					a := int(aCtr.Add(1) - 1)
 					if a >= e.nattr {
 						break
 					}
 					if err := e.cancelled(); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 					if !hook("merge", id) {
@@ -253,7 +254,7 @@ func (e *engine) runHist(root *leafState) error {
 					}
 					ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(block)))
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return
 				}
 
@@ -261,14 +262,14 @@ func (e *engine) runHist(root *leafState) error {
 				// the next frontier; peers wait at the barrier (as in
 				// BASIC). Child class histograms come from the winning
 				// attribute's merged histogram — no data scan.
-				if id == 0 && !ferr.failed() {
+				if id == 0 && !ferr.Failed() {
 					for li, l := range block {
 						if !hook("winner", id) {
 							break
 						}
 						t0 := time.Now()
 						if err := e.histWinner(m, l, merged[li*m.Stride:(li+1)*m.Stride]); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 							break
 						}
 						if l.didSplit {
@@ -284,7 +285,7 @@ func (e *engine) runHist(root *leafState) error {
 					aCtr.Store(0)
 					lCtr.Store(0)
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return
 				}
 
@@ -292,7 +293,7 @@ func (e *engine) runHist(root *leafState) error {
 				// row-index range in place. A split whose children are both
 				// terminal needs no partition: nothing reads those rows
 				// again.
-				for !ferr.failed() {
+				for !ferr.Failed() {
 					li := int(lCtr.Add(1) - 1)
 					if li >= len(block) {
 						break
@@ -302,7 +303,7 @@ func (e *engine) runHist(root *leafState) error {
 						continue
 					}
 					if err := e.cancelled(); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 					if !hook("split", id) {
@@ -315,20 +316,20 @@ func (e *engine) runHist(root *leafState) error {
 					}
 					nl := m.PartitionStable(l.win.Attr, idx, l.rowLo, l.rowLo+n, l.histLeft, sc.buf[:n])
 					if int64(nl) != l.win.NLeft {
-						ferr.set(fmt.Errorf("core: hist partition on attr %d produced %d left rows, candidate promised %d",
+						ferr.Set(fmt.Errorf("core: hist partition on attr %d produced %d left rows, candidate promised %d",
 							l.win.Attr, nl, l.win.NLeft))
 					}
 					l.histLeft = nil
 					ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return
 				}
 			}
 
 			// Level bookkeeping by the master.
 			if id == 0 {
-				if ferr.failed() {
+				if ferr.Failed() {
 					next = nil
 				}
 				frontier = next
@@ -336,7 +337,7 @@ func (e *engine) runHist(root *leafState) error {
 				level++
 				done = len(frontier) == 0
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return
 			}
 			if done {
@@ -352,17 +353,21 @@ func (e *engine) runHist(root *leafState) error {
 			defer wg.Done()
 			// A panicking worker can never rejoin the barrier protocol;
 			// breaking the barrier releases every surviving peer.
-			guard(&ferr, bar.abort, id, func() { worker(id) })
+			sched.Guard(&ferr, bar.Abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }
 
 // histBestSplit searches attribute a's merged histogram for leaf l's best
 // split: bin boundaries for continuous attributes, SPRINT's subset search
 // (fed pre-aggregated counts) for categorical ones.
 func (e *engine) histBestSplit(m *hist.Matrix, a int, counts []int64, l *leafState, sc *histScratch) split.Candidate {
+	if e.cfg.AttrMask != nil && !e.cfg.AttrMask[a] {
+		// Feature-subsampled builds never split on a masked attribute.
+		return split.Candidate{}
+	}
 	if e.schema.Attrs[a].Kind == dataset.Continuous {
 		return sc.cs.Best(a, counts, m.Cuts[a], l.hist, l.n)
 	}

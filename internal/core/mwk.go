@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -22,14 +23,14 @@ func (e *engine) runMWK(root *leafState) error {
 	}
 	P := e.cfg.Procs
 	K := e.cfg.WindowK
-	bar := newBarrier(P)
-	var ferr errOnce
+	bar := sched.NewBarrier(P)
+	var ferr sched.ErrOnce
 
 	// abort unblocks all condition waits when a worker hits an error.
 	abort := make(chan struct{})
 	var abortOnce sync.Once
 	fail := func(err error) {
-		ferr.set(err)
+		ferr.Set(err)
 		abortOnce.Do(func() { close(abort) })
 	}
 	// waitSig blocks on a leaf-done condition; the stall is recorded as
@@ -51,7 +52,7 @@ func (e *engine) runMWK(root *leafState) error {
 
 	// splitGrab executes leaf l's remaining S units dynamically.
 	splitGrab := func(l *leafState, ln *trace.Lane, lvl int, sc *scratch) {
-		for !ferr.failed() {
+		for !ferr.Failed() {
 			a := l.sNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				return
@@ -79,7 +80,7 @@ func (e *engine) runMWK(root *leafState) error {
 					waitSig(doneCh[i-K], ln, lvl)
 				}
 				// E units of leaf i, grabbed dynamically.
-				for !ferr.failed() {
+				for !ferr.Failed() {
 					a := l.eNext.Add(1) - 1
 					if a >= int64(e.nattr) {
 						break
@@ -118,7 +119,7 @@ func (e *engine) runMWK(root *leafState) error {
 				waitSig(doneCh[i], ln, lvl)
 				splitGrab(l, ln, lvl, sc)
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 
@@ -132,7 +133,7 @@ func (e *engine) runMWK(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 			if done {
@@ -147,18 +148,18 @@ func (e *engine) runMWK(root *leafState) error {
 	// protocol alive instead, so the level ends through the normal path.
 	teardown := func() {
 		abortOnce.Do(func() { close(abort) })
-		bar.abort()
+		bar.Abort()
 	}
 	var wg sync.WaitGroup
 	for id := 0; id < P; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			guard(&ferr, teardown, id, func() { worker(id) })
+			sched.Guard(&ferr, teardown, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }
 
 func makeSignals(n int) []chan struct{} {

@@ -47,7 +47,7 @@ func TestPhaseFaults(t *testing.T) {
 					Retry:   alist.RetryPolicy{MaxAttempts: 1},
 				}
 				var fs *faultstore.Store
-				cfg.storeWrap = func(st alist.Store) alist.Store {
+				cfg.StoreWrap = func(st alist.Store) alist.Store {
 					fs = faultstore.New(st, ph.rule)
 					return fs
 				}

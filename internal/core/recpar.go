@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alist"
 	"repro/internal/dataset"
+	"repro/internal/sched"
 	"repro/internal/split"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -40,8 +41,8 @@ func (e *engine) runRecPar(root *leafState) error {
 		return nil
 	}
 	P := e.cfg.Procs
-	bar := newBarrier(P)
-	var ferr errOnce
+	bar := sched.NewBarrier(P)
+	var ferr sched.ErrOnce
 
 	// Per-worker scratch slots; slot w is written only by worker w between
 	// barriers and read by others only after the next barrier.
@@ -93,7 +94,7 @@ func (e *engine) runRecPar(root *leafState) error {
 					sr := l.segs[a]
 					if e.schema.Attrs[a].Kind == dataset.Continuous {
 						// Pass A: chunk class histogram and boundary values.
-						if !ferr.failed() {
+						if !ferr.Failed() {
 							t0 := time.Now()
 							h := hists[id]
 							for j := range h {
@@ -111,15 +112,15 @@ func (e *engine) runRecPar(root *leafState) error {
 								v.n += len(recs)
 								return nil
 							}); err != nil {
-								ferr.set(err)
+								ferr.Set(err)
 							}
 							vals[id] = v
 							ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 						}
-						if !bar.timedWait(ln, lvl) {
+						if !bar.TimedWait(ln, lvl) {
 							return // build aborted by a dead worker's teardown
 						}
-						if !ferr.failed() {
+						if !ferr.Failed() {
 							t0 := time.Now()
 							// Prefix histogram and previous value (replicated
 							// per processor — the paper's "replication of
@@ -140,15 +141,15 @@ func (e *engine) runRecPar(root *leafState) error {
 							// Pass B: score candidates within the chunk.
 							sc.cont.ResetSeeded(a, l.hist, below, prev, started)
 							if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), sc.contScan); err != nil {
-								ferr.set(err)
+								ferr.Set(err)
 							}
 							cands[id] = sc.cont.Finish()
 							ln.AddN(lvl, trace.PhaseEval, time.Since(t0), 0)
 						}
-						if !bar.timedWait(ln, lvl) {
+						if !bar.TimedWait(ln, lvl) {
 							return // build aborted by a dead worker's teardown
 						}
-						if id == 0 && !ferr.failed() {
+						if id == 0 && !ferr.Failed() {
 							t0 := time.Now()
 							best := split.Candidate{}
 							for w := 0; w < P; w++ {
@@ -162,19 +163,19 @@ func (e *engine) runRecPar(root *leafState) error {
 						continue
 					}
 					// Categorical: per-chunk count matrices, master merge.
-					if !ferr.failed() {
+					if !ferr.Failed() {
 						t0 := time.Now()
 						card := e.schema.Attrs[a].Cardinality()
 						sc.cat.Reset(a, card, l.hist, e.cfg.MaxEnumCard)
 						if err := e.scan(sc, a, sr.slot, sr.off+lo, int(hi-lo), sc.catScan); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 						}
 						ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 					}
-					if !bar.timedWait(ln, lvl) {
+					if !bar.TimedWait(ln, lvl) {
 						return // build aborted by a dead worker's teardown
 					}
-					if id == 0 && !ferr.failed() {
+					if id == 0 && !ferr.Failed() {
 						t0 := time.Now()
 						for w := 1; w < P; w++ {
 							cats[0].Merge(cats[w])
@@ -184,16 +185,16 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					// Close the unit before cats slots are reused by the
 					// next categorical attribute.
-					if !bar.timedWait(ln, lvl) {
+					if !bar.TimedWait(ln, lvl) {
 						return // build aborted by a dead worker's teardown
 					}
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
 
 				// ---- W phase: chunk-parallel probe construction ----
-				if id == 0 && !ferr.failed() {
+				if id == 0 && !ferr.Failed() {
 					t0 := time.Now()
 					best := split.Candidate{}
 					for _, c := range l.cands {
@@ -211,10 +212,10 @@ func (e *engine) runRecPar(root *leafState) error {
 					}
 					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
-				if l.win.Valid && !ferr.failed() {
+				if l.win.Valid && !ferr.Failed() {
 					t0 := time.Now()
 					best := l.win
 					hl, hr := histL[id], histR[id]
@@ -251,24 +252,24 @@ func (e *engine) runRecPar(root *leafState) error {
 						}
 						return nil
 					}); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 					}
 					if batched {
 						sc.wb.Flush()
 					}
 					ln.AddN(lvl, trace.PhaseWinner, time.Since(t0), 0)
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
-				if id == 0 && l.win.Valid && !ferr.failed() {
+				if id == 0 && l.win.Valid && !ferr.Failed() {
 					t0 := time.Now()
 					if err := e.finishRecParW(l, histL, histR, level); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 					}
 					ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 				}
-				if !bar.timedWait(ln, lvl) {
+				if !bar.TimedWait(ln, lvl) {
 					return // build aborted by a dead worker's teardown
 				}
 
@@ -280,7 +281,7 @@ func (e *engine) runRecPar(root *leafState) error {
 				for a := 0; a < e.nattr; a++ {
 					// Pass 1: count the chunk's left records.
 					var nl int64
-					if !ferr.failed() {
+					if !ferr.Failed() {
 						t0 := time.Now()
 						sr := l.segs[a]
 						prb := l.prb
@@ -292,15 +293,15 @@ func (e *engine) runRecPar(root *leafState) error {
 							}
 							return nil
 						}); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 						}
 						lefts[id] = nl
 						ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 					}
-					if !bar.timedWait(ln, lvl) {
+					if !bar.TimedWait(ln, lvl) {
 						return // build aborted by a dead worker's teardown
 					}
-					if !ferr.failed() {
+					if !ferr.Failed() {
 						t0 := time.Now()
 						// Disjoint output regions from the prefix sums.
 						var prefL int64
@@ -309,16 +310,16 @@ func (e *engine) runRecPar(root *leafState) error {
 						}
 						prefR := lo - prefL
 						if err := e.splitChunk(l, a, lo, hi, prefL, prefR, nl, sc); err != nil {
-							ferr.set(err)
+							ferr.Set(err)
 						}
 						ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 					}
-					if !bar.timedWait(ln, lvl) {
+					if !bar.TimedWait(ln, lvl) {
 						return // build aborted by a dead worker's teardown
 					}
 				}
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 
@@ -326,7 +327,7 @@ func (e *engine) runRecPar(root *leafState) error {
 				t0 := time.Now()
 				next = nil
 				for li, l := range frontier {
-					if !ferr.failed() && l.didSplit {
+					if !ferr.Failed() && l.didSplit {
 						for _, c := range l.children {
 							if !c.terminal {
 								next = append(next, childLeafState(c, li, e.nattr))
@@ -337,9 +338,9 @@ func (e *engine) runRecPar(root *leafState) error {
 				}
 				curBase := e.pairBase(level)
 				if err := e.resetSlots(curBase, curBase+1); err != nil {
-					ferr.set(err)
+					ferr.Set(err)
 				}
-				if ferr.failed() {
+				if ferr.Failed() {
 					next = nil
 				}
 				frontier = next
@@ -347,7 +348,7 @@ func (e *engine) runRecPar(root *leafState) error {
 				done = len(frontier) == 0
 				ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0)
 			}
-			if !bar.timedWait(ln, lvl) {
+			if !bar.TimedWait(ln, lvl) {
 				return // build aborted by a dead worker's teardown
 			}
 			if done {
@@ -363,11 +364,11 @@ func (e *engine) runRecPar(root *leafState) error {
 			defer wg.Done()
 			// A panicking worker can never rejoin the barrier protocol;
 			// breaking the barrier releases every surviving peer.
-			guard(&ferr, bar.abort, id, func() { worker(id) })
+			sched.Guard(&ferr, bar.Abort, id, func() { worker(id) })
 		}(id)
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }
 
 // finishRecParW merges the chunk histograms, seals the probe, attaches

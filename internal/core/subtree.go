@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -79,7 +80,7 @@ type stGroup struct {
 	frontier  []*leafState
 	readPair  *sharedPair // where the frontier's lists live
 	writePair [2]int      // private slots the children are written into
-	bar       *barrier
+	bar       *sched.Barrier
 	eCtr      atomic.Int64
 	sCtr      atomic.Int64
 	doneCh    []chan struct{} // per-leaf W-done signals (MWK subroutine)
@@ -89,72 +90,18 @@ type stGroup struct {
 // the MWK subroutine is selected. The group barrier is registered with bs so
 // a teardown can break every live group at once; groups created after an
 // abort get an already-broken barrier.
-func (e *engine) newStGroup(bs *barrierSet, workers []int, frontier []*leafState,
+func (e *engine) newStGroup(bs *sched.BarrierSet, workers []int, frontier []*leafState,
 	readPair *sharedPair, writePair [2]int) *stGroup {
 	g := &stGroup{
 		workers: workers, frontier: frontier,
 		readPair: readPair, writePair: writePair,
-		bar: newBarrier(len(workers)),
+		bar: sched.NewBarrier(len(workers)),
 	}
-	bs.add(g.bar)
+	bs.Add(g.bar)
 	if e.cfg.SubtreeInner == MWK {
 		g.doneCh = makeSignals(len(frontier))
 	}
 	return g
-}
-
-// freeQueue is the paper's FREE queue of idle processors. put enqueues
-// workers; drain hands all currently idle workers to a grabbing group
-// master. When every processor is idle the computation is over and the
-// queue broadcasts termination (a nil group) to all workers.
-type freeQueue struct {
-	mu      sync.Mutex
-	ids     []int
-	total   int
-	chans   []chan *stGroup
-	abortCh chan struct{}
-	aborted bool
-}
-
-func newFreeQueue(total int, chans []chan *stGroup) *freeQueue {
-	return &freeQueue{total: total, chans: chans, abortCh: make(chan struct{})}
-}
-
-// abort releases every worker blocked on its assignment channel: a dead
-// worker never joins the queue, so the count can no longer reach total and
-// the normal termination broadcast would never fire. Safe to call twice.
-func (q *freeQueue) abort() {
-	q.mu.Lock()
-	if !q.aborted {
-		q.aborted = true
-		close(q.abortCh)
-	}
-	q.mu.Unlock()
-}
-
-func (q *freeQueue) put(ids ...int) {
-	q.mu.Lock()
-	q.ids = append(q.ids, ids...)
-	if len(q.ids) == q.total && !q.aborted {
-		for _, ch := range q.chans {
-			// A worker idle in the queue has an empty channel, so the
-			// buffered send cannot block; the default arm only guards
-			// against racing an abort.
-			select {
-			case ch <- nil:
-			default:
-			}
-		}
-	}
-	q.mu.Unlock()
-}
-
-func (q *freeQueue) drain() []int {
-	q.mu.Lock()
-	out := q.ids
-	q.ids = nil
-	q.mu.Unlock()
-	return out
 }
 
 // runSubtree implements the SUBTREE task-parallel scheme (paper Fig. 7).
@@ -170,17 +117,17 @@ func (e *engine) runSubtree(root *leafState) error {
 		return nil
 	}
 	P := e.cfg.Procs
-	var ferr errOnce
+	var ferr sched.ErrOnce
 
 	chans := make([]chan *stGroup, P)
 	for i := range chans {
 		chans[i] = make(chan *stGroup, 1)
 	}
-	fq := newFreeQueue(P, chans)
+	fq := sched.NewFreeQueue(P, chans)
 	// Registry of every live group barrier, so a panicking worker's teardown
 	// can break them all: its own group's peers unblock from the level
 	// protocol, and unrelated groups unwind at their next barrier.
-	bs := &barrierSet{}
+	bs := &sched.BarrierSet{}
 	// Setup wrote the root lists into slot 0; slots {0,1} form the root's
 	// read pair and {2,3} are free.
 	pool := newSlotPool(e, 4)
@@ -198,7 +145,7 @@ func (e *engine) runSubtree(root *leafState) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			guard(&ferr, func() { bs.abort(); fq.abort() }, w, func() {
+			sched.Guard(&ferr, func() { bs.Abort(); fq.Abort() }, w, func() {
 				ln := e.rec.Lane(w)
 				sc := e.newScratch()
 				// Time spent blocked on the assignment channel is FREE-queue
@@ -210,7 +157,7 @@ func (e *engine) runSubtree(root *leafState) error {
 					var g *stGroup
 					select {
 					case g = <-chans[w]:
-					case <-fq.abortCh:
+					case <-fq.AbortCh():
 						// A dead worker can never broadcast termination;
 						// the abort channel is the only way out.
 					}
@@ -228,7 +175,7 @@ func (e *engine) runSubtree(root *leafState) error {
 		chans[w] <- g0
 	}
 	wg.Wait()
-	return ferr.get()
+	return ferr.Get()
 }
 
 func identity(n int) []int {
@@ -243,8 +190,8 @@ func identity(n int) []int {
 // their assignment channel ("go to sleep") after the level; the master
 // performs the group transition.
 func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
-	sc *scratch, pool *slotPool, fq *freeQueue, chans []chan *stGroup,
-	bs *barrierSet, ferr *errOnce) {
+	sc *scratch, pool *slotPool, fq *sched.FreeQueue[*stGroup], chans []chan *stGroup,
+	bs *sched.BarrierSet, ferr *sched.ErrOnce) {
 
 	isMaster := w == g.workers[0]
 
@@ -270,7 +217,7 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 	defer func() { ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), 0) }()
 	var next []*leafState
 	for li, l := range g.frontier {
-		if !ferr.failed() && l.didSplit {
+		if !ferr.Failed() && l.didSplit {
 			for _, c := range l.children {
 				if !c.terminal {
 					next = append(next, childLeafState(c, li, e.nattr))
@@ -280,9 +227,9 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 		releaseLeaf(l)
 	}
 	if err := g.readPair.release(); err != nil {
-		ferr.set(err)
+		ferr.Set(err)
 	}
-	if ferr.failed() {
+	if ferr.Failed() {
 		next = nil
 	}
 
@@ -290,14 +237,14 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 		// Subtree finished: everyone (master included) joins the FREE
 		// queue. The write pair holds nothing anyone will read.
 		if err := pool.release(g.writePair); err != nil {
-			ferr.set(err)
+			ferr.Set(err)
 		}
-		fq.put(g.workers...)
+		fq.Put(g.workers...)
 		return
 	}
 
 	// Grab all idle processors from the FREE queue.
-	procs := append(append([]int(nil), g.workers...), fq.drain()...)
+	procs := append(append([]int(nil), g.workers...), fq.Drain()...)
 	sort.Ints(procs) // the smallest id is the master
 	childRead := newSharedPair(pool, g.writePair, 1)
 
@@ -306,8 +253,8 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 		// the whole frontier): continue as a single group.
 		wp, err := pool.acquire()
 		if err != nil {
-			ferr.set(err)
-			fq.put(procs...)
+			ferr.Set(err)
+			fq.Put(procs...)
 			return
 		}
 		ng := e.newStGroup(bs, procs, next, childRead, wp)
@@ -325,9 +272,9 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 	wp1, err1 := pool.acquire()
 	wp2, err2 := pool.acquire()
 	if err1 != nil || err2 != nil {
-		ferr.set(err1)
-		ferr.set(err2)
-		fq.put(procs...)
+		ferr.Set(err1)
+		ferr.Set(err2)
+		fq.Put(procs...)
 		return
 	}
 	g1 := e.newStGroup(bs, p1, l1, childRead, wp1)
@@ -344,8 +291,8 @@ func (e *engine) subtreeMember(g *stGroup, w int, ln *trace.Lane, lvl int,
 // attribute units for E and S, the group master serially performing W.
 // It reports false when the group barrier was broken by an abort.
 func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, sc *scratch, ferr *errOnce) bool {
-	for !ferr.failed() {
+	lvl int, sc *scratch, ferr *sched.ErrOnce) bool {
+	for !ferr.Failed() {
 		a := int(g.eCtr.Add(1) - 1)
 		if a >= e.nattr {
 			break
@@ -353,21 +300,21 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		t0 := time.Now()
 		for _, l := range g.frontier {
 			if err := e.evalLeafAttr(l, a, sc); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 		}
 		ln.AddN(lvl, trace.PhaseEval, time.Since(t0), int64(len(g.frontier)))
 	}
-	if !g.bar.timedWait(ln, lvl) {
+	if !g.bar.TimedWait(ln, lvl) {
 		return false
 	}
 
-	if isMaster && !ferr.failed() {
+	if isMaster && !ferr.Failed() {
 		for _, l := range g.frontier {
 			t0 := time.Now()
 			if err := e.winnerAndProbe(l, sc); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 			if l.didSplit {
@@ -376,7 +323,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 						continue
 					}
 					if err := e.registerChild(c, g.writePair[side]); err != nil {
-						ferr.set(err)
+						ferr.Set(err)
 						break
 					}
 				}
@@ -384,11 +331,11 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 			ln.Add(lvl, trace.PhaseWinner, time.Since(t0))
 		}
 	}
-	if !g.bar.timedWait(ln, lvl) {
+	if !g.bar.TimedWait(ln, lvl) {
 		return false
 	}
 
-	for !ferr.failed() {
+	for !ferr.Failed() {
 		a := int(g.sCtr.Add(1) - 1)
 		if a >= e.nattr {
 			break
@@ -396,13 +343,13 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 		t0 := time.Now()
 		for _, l := range g.frontier {
 			if err := e.splitLeafAttr(l, a, sc); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 		}
 		ln.AddN(lvl, trace.PhaseSplit, time.Since(t0), int64(len(g.frontier)))
 	}
-	return g.bar.timedWait(ln, lvl)
+	return g.bar.TimedWait(ln, lvl)
 }
 
 // subtreeLevelMWK runs one group level with the MWK policy — the hybrid the
@@ -413,7 +360,7 @@ func (e *engine) subtreeLevelBasic(g *stGroup, isMaster bool, ln *trace.Lane,
 // is unchanged. It reports false when the group barrier was broken by an
 // abort.
 func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
-	lvl int, sc *scratch, ferr *errOnce) bool {
+	lvl int, sc *scratch, ferr *sched.ErrOnce) bool {
 	K := e.cfg.WindowK
 	registerMWK := func(l *leafState) error {
 		if err := e.winnerAndProbe(l, sc); err != nil {
@@ -433,14 +380,14 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 		return nil
 	}
 	splitGrab := func(l *leafState) {
-		for !ferr.failed() {
+		for !ferr.Failed() {
 			a := l.sNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				return
 			}
 			t0 := time.Now()
 			if err := e.splitLeafAttr(l, int(a), sc); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 			}
 			ln.Add(lvl, trace.PhaseSplit, time.Since(t0))
 			if l.sDone.Add(1) == int64(e.nattr) {
@@ -457,21 +404,21 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 		if i >= K {
 			waitSig(g.doneCh[i-K])
 		}
-		for !ferr.failed() {
+		for !ferr.Failed() {
 			a := l.eNext.Add(1) - 1
 			if a >= int64(e.nattr) {
 				break
 			}
 			t0 := time.Now()
 			if err := e.evalLeafAttr(l, int(a), sc); err != nil {
-				ferr.set(err)
+				ferr.Set(err)
 				break
 			}
 			ln.Add(lvl, trace.PhaseEval, time.Since(t0))
 			if l.eDone.Add(1) == int64(e.nattr) {
 				tw := time.Now()
 				if err := registerMWK(l); err != nil {
-					ferr.set(err)
+					ferr.Set(err)
 				}
 				ln.Add(lvl, trace.PhaseWinner, time.Since(tw))
 				close(g.doneCh[i])
@@ -487,20 +434,20 @@ func (e *engine) subtreeLevelMWK(g *stGroup, isMaster bool, ln *trace.Lane,
 		waitSig(g.doneCh[i])
 		splitGrab(l)
 	}
-	return g.bar.timedWait(ln, lvl)
+	return g.bar.TimedWait(ln, lvl)
 }
 
 // waitSubtreeSignal waits for a leaf-done signal, giving up after a bounded
 // poll when the build has failed (the signalling worker may itself have
 // bailed out on the error).
-func (e *engine) waitSubtreeSignal(ch chan struct{}, ferr *errOnce) {
+func (e *engine) waitSubtreeSignal(ch chan struct{}, ferr *sched.ErrOnce) {
 	for {
 		select {
 		case <-ch:
 			return
 		default:
 		}
-		if ferr.failed() {
+		if ferr.Failed() {
 			return
 		}
 		select {

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Barrier is a reusable counting barrier for a fixed party count, the
+// synchronization point the paper draws as a horizontal bar between the E,
+// W and S phases. A Barrier can be aborted: when a worker dies (panics) it
+// can never rejoin the protocol, so the panic-containment path breaks the
+// barrier rather than leave the surviving parties counting to a total that
+// will never be reached.
+type Barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait (true, barrier
+// immediately reusable) or the barrier is aborted (false — current waiters
+// wake, future waiters return immediately). A false return means the
+// computation is being torn down and the caller must unwind without
+// touching shared level state.
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return false
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	ok := gen != b.gen
+	b.mu.Unlock()
+	return ok
+}
+
+// Abort permanently breaks the barrier, waking every current waiter.
+func (b *Barrier) Abort() {
+	b.mu.Lock()
+	if !b.broken {
+		b.broken = true
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// TimedWait is Wait() with the stall recorded into the caller's lane at
+// (lvl, barrier) — how the schemes account inter-phase synchronization.
+func (b *Barrier) TimedWait(ln *trace.Lane, lvl int) bool {
+	t0 := time.Now()
+	ok := b.Wait()
+	ln.Add(lvl, trace.PhaseBarrier, time.Since(t0))
+	return ok
+}
+
+// BarrierSet tracks every live barrier of a computation so one teardown
+// can break them all. SUBTREE needs it: group barriers are created
+// dynamically, and a group delivered to some members after the abort must
+// not strand them on a fresh, unbroken barrier — Add breaks late arrivals
+// itself once the set is aborted.
+type BarrierSet struct {
+	mu      sync.Mutex
+	bars    []*Barrier
+	aborted bool
+}
+
+// Add registers b with the set, aborting it immediately when the set has
+// already been aborted.
+func (s *BarrierSet) Add(b *Barrier) {
+	s.mu.Lock()
+	s.bars = append(s.bars, b)
+	aborted := s.aborted
+	s.mu.Unlock()
+	if aborted {
+		b.Abort()
+	}
+}
+
+// Abort breaks every registered barrier and marks the set so barriers
+// added later are broken on arrival.
+func (s *BarrierSet) Abort() {
+	s.mu.Lock()
+	s.aborted = true
+	bars := s.bars
+	s.mu.Unlock()
+	for _, b := range bars {
+		b.Abort()
+	}
+}

@@ -1,0 +1,69 @@
+package sched
+
+import "sync"
+
+// FreeQueue is the paper's FREE queue of idle processors, generalized over
+// the task type T handed to workers (SUBTREE uses a processor-group
+// pointer). Put enqueues idle workers; Drain hands all currently idle
+// workers to a grabbing task master. When every processor is idle the
+// computation is over and the queue broadcasts termination (T's zero
+// value) to all workers.
+type FreeQueue[T any] struct {
+	mu      sync.Mutex
+	ids     []int
+	total   int
+	chans   []chan T
+	abortCh chan struct{}
+	aborted bool
+}
+
+// NewFreeQueue creates a FREE queue over total workers, each listening on
+// its buffered assignment channel in chans.
+func NewFreeQueue[T any](total int, chans []chan T) *FreeQueue[T] {
+	return &FreeQueue[T]{total: total, chans: chans, abortCh: make(chan struct{})}
+}
+
+// Abort releases every worker blocked on its assignment channel: a dead
+// worker never joins the queue, so the count can no longer reach total and
+// the normal termination broadcast would never fire. Safe to call twice.
+func (q *FreeQueue[T]) Abort() {
+	q.mu.Lock()
+	if !q.aborted {
+		q.aborted = true
+		close(q.abortCh)
+	}
+	q.mu.Unlock()
+}
+
+// AbortCh returns the channel closed by Abort; workers select on it
+// alongside their assignment channel.
+func (q *FreeQueue[T]) AbortCh() <-chan struct{} { return q.abortCh }
+
+// Put enqueues workers as idle; when every worker is idle it broadcasts
+// the termination sentinel (T's zero value) to all assignment channels.
+func (q *FreeQueue[T]) Put(ids ...int) {
+	q.mu.Lock()
+	q.ids = append(q.ids, ids...)
+	if len(q.ids) == q.total && !q.aborted {
+		var zero T
+		for _, ch := range q.chans {
+			// A worker idle in the queue has an empty channel, so the
+			// buffered send cannot block; the default arm only guards
+			// against racing an abort.
+			select {
+			case ch <- zero:
+			default:
+			}
+		}
+	}
+	q.mu.Unlock()
+}
+
+// Drain hands all currently idle workers to the caller.
+func (q *FreeQueue[T]) Drain() []int {
+	q.mu.Lock()
+	out := q.ids
+	q.ids = nil
+	q.mu.Unlock()
+	return out
+}

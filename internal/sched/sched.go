@@ -1,0 +1,135 @@
+// Package sched provides the shared-memory scheduling primitives the
+// build engines and the forest trainer are made of: abortable counting
+// barriers (the paper's horizontal bars between the E, W and S phases), a
+// first-error latch, panic containment for worker goroutines, the paper's
+// FREE queue of idle processors (generalized over the task type), and a
+// whole-task farm that schedules independent coarse tasks — whole trees —
+// across a fixed worker pool.
+//
+// The package is the SUBTREE machinery of internal/core refactored out so
+// that tree-level parallelism (forests) and node-level parallelism (the
+// SMP schemes) share one set of semantics: a panicking worker latches
+// ErrWorkerPanic, tears down every structure a peer could be blocked on,
+// and the computation unwinds promptly instead of deadlocking.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// ErrWorkerPanic marks a computation failure caused by a recovered panic
+// in a worker goroutine. The panic is contained: peers are released from
+// every barrier, condition wait and FREE-queue channel, and the scheduler
+// returns this error instead of crashing the process.
+var ErrWorkerPanic = errors.New("sched: worker panic")
+
+// ErrOnce latches the first error reported by any worker.
+type ErrOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set latches err if it is the first non-nil error reported.
+func (o *ErrOnce) Set(err error) {
+	if err == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+// Failed reports whether any error has been latched.
+func (o *ErrOnce) Failed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err != nil
+}
+
+// Get returns the latched error, nil if none.
+func (o *ErrOnce) Get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Guard runs fn with panic containment for worker id: a panic is converted
+// into an ErrWorkerPanic on ferr, then teardown releases every
+// synchronization structure a peer could be blocked on (barriers, abort
+// channels, the FREE queue), so the surviving workers observe the failure
+// and unwind instead of waiting forever for the dead worker.
+func Guard(ferr *ErrOnce, teardown func(), id int, fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			ferr.Set(fmt.Errorf("%w: worker %d: %v\n%s", ErrWorkerPanic, id, p, debug.Stack()))
+			if teardown != nil {
+				teardown()
+			}
+		}
+	}()
+	fn()
+}
+
+// Run schedules n independent coarse tasks over procs workers — the farm
+// pattern, with tasks grabbed dynamically so stragglers do not serialize
+// the tail. task is called as task(worker, idx) for idx in [0,n); the
+// first error (or contained panic) latches, remaining tasks are skipped,
+// and abort — when non-nil — fires exactly once on the first failure so
+// the caller can cancel in-flight tasks (e.g. a build context). Run
+// returns the first error.
+func Run(procs, n int, abort func(), task func(worker, idx int) error) error {
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > n {
+		procs = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	var (
+		ferr ErrOnce
+		next int
+		mu   sync.Mutex
+		once sync.Once
+	)
+	fail := func(err error) {
+		ferr.Set(err)
+		if abort != nil {
+			once.Do(abort)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			Guard(&ferr, func() {
+				if abort != nil {
+					once.Do(abort)
+				}
+			}, w, func() {
+				for {
+					mu.Lock()
+					idx := next
+					next++
+					mu.Unlock()
+					if idx >= n || ferr.Failed() {
+						return
+					}
+					if err := task(w, idx); err != nil {
+						fail(err)
+						return
+					}
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	return ferr.Get()
+}

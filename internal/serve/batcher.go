@@ -312,7 +312,7 @@ func (b *batcher) execute(k groupKey, group []*pendingPredict) {
 // executeOne is the per-request fallback when a coalesced batch fails: it
 // reproduces the inline path's calls exactly, so error text and row
 // attribution match what the request would have seen unbatched.
-func (b *batcher) executeOne(p *pendingPredict, m *parclass.Model) {
+func (b *batcher) executeOne(p *pendingPredict, m parclass.Predictor) {
 	var (
 		preds []string
 		err   error

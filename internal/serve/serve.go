@@ -51,9 +51,11 @@ const maxModelBytes = 256 << 20
 // with Server.SetPredictMaxBytes (parclassd: -predict-max-bytes).
 const DefaultPredictMaxBytes = 8 << 20
 
-// loadedModel is one immutable published model version.
+// loadedModel is one immutable published model version. The registry
+// holds Predictors, so a slot can serve a single tree or a forest and a
+// hot swap can change the shape.
 type loadedModel struct {
-	model    *parclass.Model
+	model    parclass.Predictor
 	loadedAt time.Time
 	source   string
 }
@@ -122,10 +124,11 @@ func New(defaultModel string) *Server {
 	}
 }
 
-// Load registers (or hot-swaps) a model under name and reports whether an
-// earlier version was replaced. The model is compiled before publication
-// so no request pays the flat-tree build.
-func (s *Server) Load(name string, m *parclass.Model, source string) (swapped bool, err error) {
+// Load registers (or hot-swaps) a classifier — a single tree or a forest
+// — under name and reports whether an earlier version was replaced. The
+// predictor is compiled before publication so no request pays the
+// flat-pool build.
+func (s *Server) Load(name string, m parclass.Predictor, source string) (swapped bool, err error) {
 	if name == "" {
 		name = s.defaultModel
 	}
@@ -253,12 +256,20 @@ type predictRequest struct {
 	NoBatch    bool                `json:"no_batch,omitempty"`
 }
 
+// predictResponse is the POST /predict reply. Proba and Trees appear only
+// when the serving predictor is a forest — single-tree responses carry
+// exactly the pre-forest field set, byte for byte.
 type predictResponse struct {
 	Model       string   `json:"model"`
 	Prediction  string   `json:"prediction,omitempty"`
 	Predictions []string `json:"predictions,omitempty"`
-	Rows        int      `json:"rows"`
-	ElapsedUS   int64    `json:"elapsed_us"`
+	// Proba is the per-class vote fraction for a single-row request served
+	// by a forest.
+	Proba map[string]float64 `json:"proba,omitempty"`
+	// Trees is the ensemble size when > 1 (forest models).
+	Trees     int   `json:"trees,omitempty"`
+	Rows      int   `json:"rows"`
+	ElapsedUS int64 `json:"elapsed_us"`
 }
 
 // decodeBody decodes exactly one JSON document from r's body under cap
@@ -308,11 +319,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = s.defaultModel
 	}
+	sl, cur := s.current(name)
+	// Single-row requests served by a forest answer inline even when
+	// batching is on: the vote distribution (proba) comes out of the same
+	// fused walk, and the coalesced batch path would drop it.
+	var pp parclass.ProbaPredictor
+	if cur != nil {
+		pp, _ = cur.model.(parclass.ProbaPredictor)
+	}
+	inlineProba := pp != nil && (req.Row != nil || len(req.Values) > 0)
 	// The coalescing path: join the admission queue and let the dispatcher
 	// fold this request into one sharded batch walk per linger window. The
 	// queue is bounded; a full queue sheds the request with 429 instead of
 	// queueing goroutines and memory without bound.
-	if b := s.batch.Load(); b != nil && !req.NoBatch {
+	if b := s.batch.Load(); b != nil && !req.NoBatch && !inlineProba {
 		p := newPending(name, &req)
 		if !b.submit(p) {
 			s.met.shed.Add(1)
@@ -327,6 +347,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			resp := predictResponse{Model: name, Rows: p.nrows()}
+			if cur != nil {
+				if nt := cur.model.NumTrees(); nt > 1 {
+					resp.Trees = nt
+				}
+			}
 			if p.single {
 				resp.Prediction = out.preds[0]
 			} else {
@@ -343,15 +368,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	sl, cur := s.current(name)
 	if cur == nil {
 		writeErr(w, rs, http.StatusNotFound, "no model %q", name)
 		return
 	}
 	resp := predictResponse{Model: name}
+	if nt := cur.model.NumTrees(); nt > 1 {
+		resp.Trees = nt
+	}
 	switch {
 	case req.Row != nil:
-		pred, err := cur.model.Predict(req.Row)
+		var pred string
+		var err error
+		if pp != nil {
+			pred, resp.Proba, err = pp.PredictProba(req.Row)
+		} else {
+			pred, err = cur.model.Predict(req.Row)
+		}
 		if err != nil {
 			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
@@ -359,7 +392,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Prediction = pred
 		resp.Rows = 1
 	case len(req.Values) > 0:
-		pred, err := cur.model.PredictValues(req.Values)
+		var pred string
+		var err error
+		if pp != nil {
+			pred, resp.Proba, err = pp.PredictValuesProba(req.Values)
+		} else {
+			pred, err = cur.model.PredictValues(req.Values)
+		}
 		if err != nil {
 			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
@@ -618,6 +657,8 @@ type ModelInfo struct {
 		Levels            int `json:"levels"`
 		MaxLeavesPerLevel int `json:"max_leaves_per_level"`
 	} `json:"stats"`
+	// Trees is the ensemble size when > 1 (forest models).
+	Trees   int        `json:"trees,omitempty"`
 	Classes []string   `json:"classes"`
 	Attrs   []attrInfo `json:"attrs"`
 	Rules   []string   `json:"rules,omitempty"`
@@ -641,7 +682,10 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	info.Stats.Leaves = st.Leaves
 	info.Stats.Levels = st.Levels
 	info.Stats.MaxLeavesPerLevel = st.MaxLeavesPerLevel
-	schema := cur.model.Tree().Schema
+	if nt := cur.model.NumTrees(); nt > 1 {
+		info.Trees = nt
+	}
+	schema := cur.model.Schema()
 	info.Classes = append(info.Classes, schema.Classes...)
 	for i := range schema.Attrs {
 		a := &schema.Attrs[i]
@@ -651,8 +695,11 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 		}
 		info.Attrs = append(info.Attrs, attrInfo{Name: a.Name, Kind: kind, Categories: a.Categories})
 	}
+	// Rules rendering is single-tree only; forests omit the field.
 	if r.URL.Query().Get("rules") == "1" {
-		info.Rules = cur.model.Rules()
+		if rm, ok := cur.model.(interface{ Rules() []string }); ok {
+			info.Rules = rm.Rules()
+		}
 	}
 	writeJSON(w, http.StatusOK, info)
 }

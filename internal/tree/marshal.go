@@ -58,20 +58,8 @@ func (t *Tree) Write(w io.Writer) error {
 	m := modelJSON{
 		Format:  modelFormat,
 		Version: modelVersion,
-		Schema: schemaJSON{
-			Classes: t.Schema.Classes,
-		},
-		Root: encodeNode(t.Root),
-	}
-	for i := range t.Schema.Attrs {
-		a := &t.Schema.Attrs[i]
-		kind := "continuous"
-		if a.Kind == dataset.Categorical {
-			kind = "categorical"
-		}
-		m.Schema.Attrs = append(m.Schema.Attrs, attrJSON{
-			Name: a.Name, Kind: kind, Categories: a.Categories,
-		})
+		Schema:  encodeSchema(t.Schema),
+		Root:    encodeNode(t.Root),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -136,20 +124,8 @@ func Read(r io.Reader) (*Tree, error) {
 	if m.Version != modelVersion {
 		return nil, fmt.Errorf("tree: unsupported model version %d", m.Version)
 	}
-	schema := &dataset.Schema{Classes: m.Schema.Classes}
-	for _, a := range m.Schema.Attrs {
-		attr := dataset.Attribute{Name: a.Name, Categories: a.Categories}
-		switch a.Kind {
-		case "continuous":
-			attr.Kind = dataset.Continuous
-		case "categorical":
-			attr.Kind = dataset.Categorical
-		default:
-			return nil, fmt.Errorf("tree: attribute %q has unknown kind %q", a.Name, a.Kind)
-		}
-		schema.Attrs = append(schema.Attrs, attr)
-	}
-	if err := schema.Validate(); err != nil {
+	schema, err := decodeSchema(m.Schema)
+	if err != nil {
 		return nil, err
 	}
 	if m.Root == nil {
@@ -160,18 +136,7 @@ func Read(r io.Reader) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{Root: root, Schema: schema}
-	// Re-number in BFS order for stable ids.
-	id := 0
-	queue := []*Node{root}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		n.ID = id
-		id++
-		if !n.IsLeaf() {
-			queue = append(queue, n.Left, n.Right)
-		}
-	}
+	renumberBFS(t)
 	return t, nil
 }
 

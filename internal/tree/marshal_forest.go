@@ -1,0 +1,211 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+// Version 2 of the model format is the multi-tree envelope: the same
+// self-contained schema, a "trees" array of 1..N roots in place of v1's
+// single "root", and an optional "forest" block recording the ensemble's
+// training knobs. Version 1 files (single-tree, written by every release
+// before forests) remain readable forever through ReadAny; Write keeps
+// emitting exactly the v1 bytes for single trees so existing artifacts,
+// diffs and checksums are unaffected.
+
+const forestFormat = "parclass-model"
+
+// ForestMeta records how an ensemble was trained, carried in the v2
+// envelope so a loaded forest can report its provenance.
+type ForestMeta struct {
+	SampleFrac  float64 `json:"sample_frac"`
+	FeatureFrac float64 `json:"feature_frac"`
+	Seed        int64   `json:"seed"`
+}
+
+// File is the result of reading a model file of any version: one tree for
+// v1, one or more for v2. All trees share one schema pointer.
+type File struct {
+	Version int
+	Trees   []*Tree
+	Forest  *ForestMeta // non-nil only for v2 forest envelopes
+}
+
+// forestJSON is the v2 on-disk envelope.
+type forestJSON struct {
+	Format  string      `json:"format"`
+	Version int         `json:"version"`
+	Schema  schemaJSON  `json:"schema"`
+	Forest  *ForestMeta `json:"forest,omitempty"`
+	Trees   []*nodeJSON `json:"trees"`
+}
+
+// WriteForest serializes trees (which must share one schema) as a v2
+// multi-tree envelope.
+func WriteForest(w io.Writer, trees []*Tree, meta *ForestMeta) error {
+	if len(trees) == 0 {
+		return fmt.Errorf("tree: writing empty forest")
+	}
+	schema := trees[0].Schema
+	m := forestJSON{
+		Format:  forestFormat,
+		Version: 2,
+		Schema:  encodeSchema(schema),
+		Forest:  meta,
+	}
+	for i, t := range trees {
+		if t.Schema != schema {
+			return fmt.Errorf("tree: forest tree %d has a different schema", i)
+		}
+		m.Trees = append(m.Trees, encodeNode(t.Root))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// WriteForestFile serializes the forest to the named file.
+func WriteForestFile(path string, trees []*Tree, meta *ForestMeta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteForest(f, trees, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAny deserializes a model file of either version: the v1 single-tree
+// envelope or the v2 multi-tree envelope. It enforces the same
+// one-JSON-document rule as Read.
+func ReadAny(r io.Reader) (*File, error) {
+	var raw struct {
+		Format  string          `json:"format"`
+		Version int             `json:"version"`
+		Schema  schemaJSON      `json:"schema"`
+		Forest  *ForestMeta     `json:"forest"`
+		Root    *nodeJSON       `json:"root"`
+		Trees   []*nodeJSON     `json:"trees"`
+		Extra   json.RawMessage `json:"-"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("tree: decoding model: %w", err)
+	}
+	// Exactly one JSON document: anything but whitespace after it means a
+	// concatenated or truncated upload, which must not be half-accepted.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("tree: trailing data after model JSON")
+	}
+
+	var roots []*nodeJSON
+	switch {
+	case raw.Format == modelFormat && raw.Version == 1:
+		if raw.Root == nil {
+			return nil, fmt.Errorf("tree: model has no root")
+		}
+		roots = []*nodeJSON{raw.Root}
+	case raw.Format == forestFormat && raw.Version == 2:
+		if len(raw.Trees) == 0 {
+			return nil, fmt.Errorf("tree: v2 model has no trees")
+		}
+		roots = raw.Trees
+	case raw.Format != modelFormat && raw.Format != forestFormat:
+		return nil, fmt.Errorf("tree: not a parclass model (format %q)", raw.Format)
+	default:
+		return nil, fmt.Errorf("tree: unsupported model version %d for format %q", raw.Version, raw.Format)
+	}
+
+	schema, err := decodeSchema(raw.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := &File{Version: raw.Version}
+	if raw.Version == 2 {
+		out.Forest = raw.Forest
+	}
+	for i, rn := range roots {
+		if rn == nil {
+			return nil, fmt.Errorf("tree: model tree %d is null", i)
+		}
+		root, err := decodeNode(rn, schema, 0)
+		if err != nil {
+			if len(roots) > 1 {
+				return nil, fmt.Errorf("tree: tree %d: %w", i, err)
+			}
+			return nil, err
+		}
+		t := &Tree{Root: root, Schema: schema}
+		renumberBFS(t)
+		out.Trees = append(out.Trees, t)
+	}
+	return out, nil
+}
+
+// ReadAnyFile deserializes a model of either version from the named file.
+func ReadAnyFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAny(f)
+}
+
+// encodeSchema converts a schema to its JSON form.
+func encodeSchema(s *dataset.Schema) schemaJSON {
+	out := schemaJSON{Classes: s.Classes}
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		kind := "continuous"
+		if a.Kind == dataset.Categorical {
+			kind = "categorical"
+		}
+		out.Attrs = append(out.Attrs, attrJSON{
+			Name: a.Name, Kind: kind, Categories: a.Categories,
+		})
+	}
+	return out
+}
+
+// decodeSchema converts the JSON schema form back, validating it.
+func decodeSchema(m schemaJSON) (*dataset.Schema, error) {
+	schema := &dataset.Schema{Classes: m.Classes}
+	for _, a := range m.Attrs {
+		attr := dataset.Attribute{Name: a.Name, Categories: a.Categories}
+		switch a.Kind {
+		case "continuous":
+			attr.Kind = dataset.Continuous
+		case "categorical":
+			attr.Kind = dataset.Categorical
+		default:
+			return nil, fmt.Errorf("tree: attribute %q has unknown kind %q", a.Name, a.Kind)
+		}
+		schema.Attrs = append(schema.Attrs, attr)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return schema, nil
+}
+
+// renumberBFS assigns node IDs in BFS order for stable ids.
+func renumberBFS(t *Tree) {
+	id := 0
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.ID = id
+		id++
+		if !n.IsLeaf() {
+			queue = append(queue, n.Left, n.Right)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestForestEnvelopeRoundTrip(t *testing.T) {
+	t1 := smallTree()
+	t2 := smallTree()
+	t2.Schema = t1.Schema
+	meta := &ForestMeta{SampleFrac: 0.8, FeatureFrac: 0.5, Seed: 11}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, []*Tree{t1, t2}, meta); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != 2 || len(f.Trees) != 2 {
+		t.Fatalf("Version=%d Trees=%d, want 2/2", f.Version, len(f.Trees))
+	}
+	if f.Forest == nil || f.Forest.SampleFrac != 0.8 || f.Forest.Seed != 11 {
+		t.Fatalf("forest meta lost: %+v", f.Forest)
+	}
+	if f.Trees[0].Schema != f.Trees[1].Schema {
+		t.Fatal("loaded trees do not share one schema")
+	}
+	for x := 0.0; x < 10; x++ {
+		for c := int32(0); c < 3; c++ {
+			tu := dataset.Tuple{Cont: []float64{x, 0}, Cat: []int32{0, c}}
+			if f.Trees[0].Predict(tu) != t1.Predict(tu) {
+				t.Fatalf("prediction changed at x=%g c=%d", x, c)
+			}
+		}
+	}
+}
+
+// ReadAny must load v1 single-tree files transparently.
+func TestReadAnyAcceptsV1(t *testing.T) {
+	orig := smallTree()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != 1 || len(f.Trees) != 1 || f.Forest != nil {
+		t.Fatalf("v1 read gave Version=%d Trees=%d Forest=%v", f.Version, len(f.Trees), f.Forest)
+	}
+	if !Equal(orig, f.Trees[0]) {
+		t.Fatalf("v1 read changed the tree: %s", Diff(orig, f.Trees[0]))
+	}
+}
+
+func TestReadAnyRejectsCorruption(t *testing.T) {
+	good := func() string {
+		t1 := smallTree()
+		var buf bytes.Buffer
+		if err := WriteForest(&buf, []*Tree{t1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"wrong format", func(s string) string {
+			return strings.Replace(s, "parclass-model", "something-else", 1)
+		}},
+		{"wrong version", func(s string) string {
+			return strings.Replace(s, `"version": 2`, `"version": 7`, 1)
+		}},
+		{"no trees", func(s string) string {
+			return strings.Replace(s, `"trees": [`, `"trees2": [`, 1)
+		}},
+		{"trailing data", func(s string) string { return s + "{}" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadAny(strings.NewReader(c.mut(good))); err == nil {
+				t.Fatal("corrupted model accepted")
+			}
+		})
+	}
+	if err := WriteForest(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("empty forest write accepted")
+	}
+}

@@ -24,11 +24,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/alist"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flat"
@@ -172,6 +172,35 @@ type Options struct {
 	// Monitor.Snapshot from another goroutine for in-progress per-worker
 	// phase totals. Each training run needs its own BuildMonitor.
 	Monitor *BuildMonitor
+
+	// Trees is the ensemble size for TrainForest (default 1). Train — the
+	// single-tree path — rejects Trees > 1; forest builds with Trees > 1
+	// require Algorithm Serial or Hist (whole trees are the parallel unit,
+	// scheduled across Procs workers, so the intra-tree SMP schemes do not
+	// apply).
+	Trees int
+	// SampleFrac sizes each tree's bootstrap sample as a fraction of the
+	// training rows, drawn with replacement. 0 selects the classic
+	// bootstrap (n rows with replacement); exactly 1 disables sampling
+	// (every tree sees the full dataset in its original order — the
+	// identity used to check a 1-tree forest against Train).
+	SampleFrac float64
+	// FeatureFrac subsamples the attributes each tree may split on:
+	// ceil(FeatureFrac · attrs) attributes per tree, at least 1. 0 or 1
+	// disables subsampling.
+	FeatureFrac float64
+	// ForestSeed derives every tree's bootstrap and feature-subsample RNG.
+	// The forest is a pure function of (data, options, ForestSeed) — Procs
+	// changes the schedule, never the trees.
+	ForestSeed int64
+
+	// forestTreeHook, when non-nil, runs before each member tree's build
+	// with the tree index; an error (or panic) injects a per-tree failure.
+	// Chaos-test seam.
+	forestTreeHook func(treeIdx int) error
+	// forestStoreWrap is passed to each member build's Config.StoreWrap.
+	// Chaos-test seam.
+	forestStoreWrap func(alist.Store) alist.Store
 }
 
 func (o Options) coreConfig() core.Config {
@@ -339,10 +368,8 @@ type Model struct {
 	tree    *tree.Tree
 	timings Timings
 	pruned  int
-	// catCodes[a] maps category name → code for categorical attribute a
-	// (nil for continuous), built once so row decoding is a map lookup
-	// instead of a linear scan over attr.Categories.
-	catCodes []map[string]int32
+	// dec converts rows into schema tuples (shared logic with Forest).
+	dec rowDecoder
 	// compiled is the flat-array predictor, built lazily by Compile.
 	compileOnce sync.Once
 	compiled    *flat.Tree
@@ -356,21 +383,7 @@ type Model struct {
 
 // newModel wraps a tree, precomputing the categorical decode index.
 func newModel(tr *tree.Tree) *Model {
-	m := &Model{tree: tr}
-	s := tr.Schema
-	m.catCodes = make([]map[string]int32, len(s.Attrs))
-	for a := range s.Attrs {
-		attr := &s.Attrs[a]
-		if attr.Kind != dataset.Categorical {
-			continue
-		}
-		codes := make(map[string]int32, len(attr.Categories))
-		for c, name := range attr.Categories {
-			codes[name] = int32(c)
-		}
-		m.catCodes[a] = codes
-	}
-	return m
+	return &Model{tree: tr, dec: newRowDecoder(tr.Schema)}
 }
 
 // Train grows (and optionally prunes) a decision tree over the dataset.
@@ -384,6 +397,9 @@ func Train(ds *Dataset, opt Options) (*Model, error) {
 func TrainContext(ctx context.Context, ds *Dataset, opt Options) (*Model, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.Trees > 1 || opt.SampleFrac != 0 || opt.FeatureFrac != 0 || opt.ForestSeed != 0 {
+		return nil, fmt.Errorf("%w: forest options (Trees, SampleFrac, FeatureFrac, ForestSeed) are set; use TrainForest", ErrBadOption)
 	}
 	var (
 		tr  *tree.Tree
@@ -461,51 +477,7 @@ func (m *Model) Accuracy(ds *Dataset) float64 { return m.tree.Accuracy(ds.tbl) }
 
 // decodeRow converts a name→string row into a schema tuple.
 func (m *Model) decodeRow(row map[string]string) (dataset.Tuple, error) {
-	s := m.tree.Schema
-	tu := dataset.Tuple{
-		Cont: make([]float64, len(s.Attrs)),
-		Cat:  make([]int32, len(s.Attrs)),
-	}
-	return tu, m.decodeRowInto(row, tu)
-}
-
-// decodeRowInto decodes row into the caller-provided tuple buffers,
-// resolving categorical values through the precomputed catCodes index.
-func (m *Model) decodeRowInto(row map[string]string, tu dataset.Tuple) error {
-	s := m.tree.Schema
-	for a := range s.Attrs {
-		attr := &s.Attrs[a]
-		raw, ok := row[attr.Name]
-		if !ok {
-			return fmt.Errorf("%w: missing attribute %q", ErrUnknownAttribute, attr.Name)
-		}
-		if err := m.decodeValue(a, raw, tu); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// decodeValue decodes one attribute's string value into the tuple.
-func (m *Model) decodeValue(a int, raw string, tu dataset.Tuple) error {
-	attr := &m.tree.Schema.Attrs[a]
-	if attr.Kind == dataset.Continuous {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			// Slow path: tolerate surrounding whitespace.
-			if v, err = strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
-				return fmt.Errorf("%w: attribute %q: %v", ErrUnknownValue, attr.Name, err)
-			}
-		}
-		tu.Cont[a] = v
-		return nil
-	}
-	code, ok := m.catCodes[a][raw]
-	if !ok {
-		return fmt.Errorf("%w: attribute %q: unknown category %q", ErrUnknownValue, attr.Name, raw)
-	}
-	tu.Cat[a] = code
-	return nil
+	return m.dec.decodeRow(row)
 }
 
 // Predict classifies a single example given as attribute-name → value
@@ -565,7 +537,7 @@ func (m *Model) PredictValues(vals []string) (string, error) {
 	}
 	tu := dataset.Tuple{Cont: b.cont, Cat: b.cat}
 	for a, raw := range vals {
-		if err := m.decodeValue(a, raw, tu); err != nil {
+		if err := m.dec.decodeValue(a, raw, tu); err != nil {
 			m.valsPool.Put(b)
 			return "", err
 		}
@@ -624,7 +596,7 @@ func (m *Model) PredictValuesBatch(rows [][]string) ([]string, error) {
 					Cat:  catBuf[i*nAttrs : (i+1)*nAttrs],
 				}
 				for a, raw := range vals {
-					if err := m.decodeValue(a, raw, tu); err != nil {
+					if err := m.dec.decodeValue(a, raw, tu); err != nil {
 						errs[w] = fmt.Errorf("row %d: %w", i, err)
 						return
 					}
@@ -686,7 +658,7 @@ func (m *Model) PredictBatch(rows []map[string]string) ([]string, error) {
 					Cont: contBuf[i*nAttrs : (i+1)*nAttrs],
 					Cat:  catBuf[i*nAttrs : (i+1)*nAttrs],
 				}
-				if err := m.decodeRowInto(rows[i], tu); err != nil {
+				if err := m.dec.decodeRowInto(rows[i], tu); err != nil {
 					errs[w] = fmt.Errorf("row %d: %w", i, err)
 					return
 				}
@@ -745,3 +717,10 @@ func (m *Model) AttrImportance() []string {
 // Tree exposes the underlying tree to in-module tooling. It is not part of
 // the stable API.
 func (m *Model) Tree() *tree.Tree { return m.tree }
+
+// Schema exposes the model's schema to in-module tooling. It is not part
+// of the stable API.
+func (m *Model) Schema() *dataset.Schema { return m.tree.Schema }
+
+// NumTrees reports the ensemble size; a Model is always one tree.
+func (m *Model) NumTrees() int { return 1 }

@@ -1,0 +1,146 @@
+package parclass
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Predictor is a trained classifier ready to serve: the interface both
+// *Model (one tree) and *Forest (a bagged ensemble) satisfy. The serving
+// layer, the CLIs and the model registry operate on Predictor, so a hot
+// swap can replace a single tree with a 100-tree forest (or back) without
+// the caller caring which shape is loaded.
+type Predictor interface {
+	// Predict classifies one example given as attribute-name → value
+	// strings.
+	Predict(row map[string]string) (string, error)
+	// PredictValues classifies one positional row (one string per schema
+	// attribute, in Dataset.AttrNames order) — the fast single-row path.
+	PredictValues(vals []string) (string, error)
+	// PredictBatch classifies many named rows at once.
+	PredictBatch(rows []map[string]string) ([]string, error)
+	// PredictValuesBatch classifies many positional rows at once — the
+	// bulk fast path the server's micro-batcher dispatches into.
+	PredictValuesBatch(rows [][]string) ([]string, error)
+	// PredictDataset classifies every row of ds in order.
+	PredictDataset(ds *Dataset) []string
+	// Accuracy returns the fraction of ds classified correctly.
+	Accuracy(ds *Dataset) float64
+	// Compile builds the flat-array predictor eagerly (idempotent); the
+	// predict paths compile on demand otherwise.
+	Compile() error
+	// Stats returns structural statistics (summed over trees for forests).
+	Stats() TreeStats
+	// NumTrees reports the ensemble size: 1 for a Model.
+	NumTrees() int
+	// Schema exposes the classifier's schema to in-module tooling. It is
+	// not part of the stable API.
+	Schema() *dataset.Schema
+	// WriteModel serializes the classifier as versioned JSON: the v1
+	// single-tree envelope for a Model, the v2 multi-tree envelope for a
+	// Forest. ReadModel round-trips both.
+	WriteModel(w io.Writer) error
+	// SaveModel writes the classifier to the named file.
+	SaveModel(path string) error
+}
+
+// Statically assert both shapes satisfy the interface.
+var (
+	_ Predictor = (*Model)(nil)
+	_ Predictor = (*Forest)(nil)
+)
+
+// ProbaPredictor is the optional vote-distribution interface: forests
+// report per-class vote fractions alongside the majority class. Single
+// trees do not implement it (a leaf's class distribution is available via
+// Model.PredictProb but is not a vote).
+type ProbaPredictor interface {
+	Predictor
+	// PredictProba classifies one named row, also returning the fraction
+	// of trees voting for each class.
+	PredictProba(row map[string]string) (string, map[string]float64, error)
+	// PredictValuesProba is PredictProba for one positional row.
+	PredictValuesProba(vals []string) (string, map[string]float64, error)
+}
+
+var _ ProbaPredictor = (*Forest)(nil)
+
+// rowDecoder converts name→string and positional string rows into schema
+// tuples, resolving categorical values through a precomputed name→code
+// index. Model and Forest share it, so both decode identically.
+type rowDecoder struct {
+	schema *dataset.Schema
+	// catCodes[a] maps category name → code for categorical attribute a
+	// (nil for continuous), built once so row decoding is a map lookup
+	// instead of a linear scan over attr.Categories.
+	catCodes []map[string]int32
+}
+
+// newRowDecoder precomputes the categorical decode index for s.
+func newRowDecoder(s *dataset.Schema) rowDecoder {
+	d := rowDecoder{schema: s, catCodes: make([]map[string]int32, len(s.Attrs))}
+	for a := range s.Attrs {
+		attr := &s.Attrs[a]
+		if attr.Kind != dataset.Categorical {
+			continue
+		}
+		codes := make(map[string]int32, len(attr.Categories))
+		for c, name := range attr.Categories {
+			codes[name] = int32(c)
+		}
+		d.catCodes[a] = codes
+	}
+	return d
+}
+
+// decodeRow converts a name→string row into a freshly allocated tuple.
+func (d *rowDecoder) decodeRow(row map[string]string) (dataset.Tuple, error) {
+	s := d.schema
+	tu := dataset.Tuple{
+		Cont: make([]float64, len(s.Attrs)),
+		Cat:  make([]int32, len(s.Attrs)),
+	}
+	return tu, d.decodeRowInto(row, tu)
+}
+
+// decodeRowInto decodes row into the caller-provided tuple buffers.
+func (d *rowDecoder) decodeRowInto(row map[string]string, tu dataset.Tuple) error {
+	s := d.schema
+	for a := range s.Attrs {
+		attr := &s.Attrs[a]
+		raw, ok := row[attr.Name]
+		if !ok {
+			return fmt.Errorf("%w: missing attribute %q", ErrUnknownAttribute, attr.Name)
+		}
+		if err := d.decodeValue(a, raw, tu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeValue decodes one attribute's string value into the tuple.
+func (d *rowDecoder) decodeValue(a int, raw string, tu dataset.Tuple) error {
+	attr := &d.schema.Attrs[a]
+	if attr.Kind == dataset.Continuous {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			// Slow path: tolerate surrounding whitespace.
+			if v, err = strconv.ParseFloat(strings.TrimSpace(raw), 64); err != nil {
+				return fmt.Errorf("%w: attribute %q: %v", ErrUnknownValue, attr.Name, err)
+			}
+		}
+		tu.Cont[a] = v
+		return nil
+	}
+	code, ok := d.catCodes[a][raw]
+	if !ok {
+		return fmt.Errorf("%w: attribute %q: unknown category %q", ErrUnknownValue, attr.Name, raw)
+	}
+	tu.Cat[a] = code
+	return nil
+}

@@ -44,6 +44,25 @@ func (o Options) Validate() error {
 	if o.MinGiniGain < 0 {
 		return bad("MinGiniGain must be >= 0, got %g", o.MinGiniGain)
 	}
+	if o.Trees < 0 {
+		return bad("Trees must be >= 1 (or 0 for the default), got %d", o.Trees)
+	}
+	if o.SampleFrac < 0 || o.SampleFrac > 1 {
+		return bad("SampleFrac must be in (0,1] (or 0 for the classic bootstrap), got %g", o.SampleFrac)
+	}
+	if o.FeatureFrac < 0 || o.FeatureFrac > 1 {
+		return bad("FeatureFrac must be in (0,1] (or 0 to use every attribute), got %g", o.FeatureFrac)
+	}
+	if o.Trees > 1 {
+		// Member trees build with one worker each — trees are the parallel
+		// unit — so only the single-worker engines apply.
+		if o.Algorithm != Serial && o.Algorithm != Hist {
+			return bad("Algorithm must be Serial or Hist when Trees > 1 (members build single-worker), got %v", o.Algorithm)
+		}
+		if o.Monitor != nil {
+			return bad("Monitor is unsupported when Trees > 1 (member builds interleave)")
+		}
+	}
 	if o.Algorithm == RecordParallel && o.Probe != GlobalBitProbe {
 		return bad("RecordParallel requires GlobalBitProbe (workers set probe bits concurrently)")
 	}

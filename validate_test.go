@@ -40,6 +40,18 @@ func TestValidate(t *testing.T) {
 		{"hist hash probe", Options{Algorithm: Hist, Probe: LeafHashProbe}, false},
 		{"hist relabel probe", Options{Algorithm: Hist, Probe: LeafRelabelProbe}, false},
 		{"hist window", Options{Algorithm: Hist, WindowK: 4}, false},
+		{"forest defaults", Options{Trees: 25, ForestSeed: 7}, true},
+		{"forest hist", Options{Algorithm: Hist, Trees: 8, Procs: 4}, true},
+		{"forest fracs", Options{Trees: 4, SampleFrac: 0.8, FeatureFrac: 0.5}, true},
+		{"degenerate forest", Options{Trees: 1, SampleFrac: 1, FeatureFrac: 1}, true},
+		{"negative trees", Options{Trees: -1}, false},
+		{"sample frac too big", Options{Trees: 2, SampleFrac: 1.5}, false},
+		{"sample frac negative", Options{SampleFrac: -0.2}, false},
+		{"feature frac too big", Options{Trees: 2, FeatureFrac: 2}, false},
+		{"feature frac negative", Options{FeatureFrac: -1}, false},
+		{"forest mwk", Options{Algorithm: MWK, Trees: 4}, false},
+		{"forest subtree", Options{Algorithm: Subtree, Trees: 4}, false},
+		{"forest monitor", Options{Trees: 4, Monitor: NewBuildMonitor()}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -71,6 +83,11 @@ func TestValidateNamesField(t *testing.T) {
 		{Options{Algorithm: Hist, TempDir: "/tmp/x"}, "TempDir"},
 		{Options{Algorithm: Hist, Probe: LeafHashProbe}, "Probe"},
 		{Options{Algorithm: Hist, WindowK: 2}, "WindowK"},
+		{Options{Trees: -2}, "Trees"},
+		{Options{SampleFrac: 3}, "SampleFrac"},
+		{Options{FeatureFrac: -0.5}, "FeatureFrac"},
+		{Options{Algorithm: MWK, Trees: 2}, "Algorithm"},
+		{Options{Trees: 2, Monitor: NewBuildMonitor()}, "Monitor"},
 	}
 	for _, tc := range cases {
 		err := tc.opt.Validate()
