@@ -23,12 +23,14 @@ fmt-check:
 test:
 	$(GO) test ./...
 
-# Zero-allocation gate for the scratch-arena hot path (see
-# internal/core/alloc_test.go; -count=1 so a cached pass can't mask a
-# regression introduced by a dependency).
+# Zero-allocation gates for the scratch-arena hot paths: the E/W/S work
+# units (internal/core/alloc_test.go), the histogram engine, and the
+# level-synchronous predict kernel's steady state (-count=1 so a cached
+# pass can't mask a regression introduced by a dependency).
 alloc-check:
 	$(GO) test -count=1 -run 'TestWorkUnitAllocationBudget' ./internal/core/
 	$(GO) test -count=1 -run 'TestHistWorkUnitAllocationBudget' ./internal/hist/
+	$(GO) test -count=1 -run 'TestLevelKernelAllocationBudget' ./internal/flat/
 
 race:
 	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/... ./internal/hist/...

@@ -71,9 +71,18 @@ type run struct {
 // serveRun is one serving-throughput measurement (`-serve` mode): loadgen's
 // driver (internal/loadtest) run against an in-process model server.
 type serveRun struct {
-	Dataset     string  `json:"dataset"`
-	Mode        string  `json:"mode"` // "inline", "batched", "batched-overload"
-	Positional  bool    `json:"positional"`
+	Dataset string `json:"dataset"`
+	// Mode is "inline", "batched", "batched-overload", the HTTP forest A/B
+	// pair "batched-forest", or the in-process kernel A/B pair
+	// "kernel-walker"/"kernel-levelsync".
+	Mode       string `json:"mode"`
+	Positional bool   `json:"positional"`
+	// Trees is the serving ensemble size (omitted for single-tree rows, so
+	// pre-forest baselines keep their compare keys).
+	Trees int `json:"trees,omitempty"`
+	// LevelSync is the batch-kernel selection the row ran under ("on",
+	// "off"; omitted when the default auto mode served).
+	LevelSync   string  `json:"levelsync,omitempty"`
 	Concurrency int     `json:"concurrency,omitempty"`  // closed loop
 	ArrivalRate float64 `json:"arrival_rate,omitempty"` // open loop, req/s
 	BatchPerReq int     `json:"batch_per_request"`
@@ -99,6 +108,11 @@ type report struct {
 	Datasets  []string   `json:"datasets"`
 	Runs      []run      `json:"runs"`
 	ServeRuns []serveRun `json:"serve_runs,omitempty"`
+	// LevelSyncCrossoverRows is the measured batch size where the
+	// level-synchronous kernel overtakes the preorder walker on this host
+	// (`-serve` A/B sweep); 0 means the walker won at every size tried.
+	// parclass.DefaultLevelSyncCrossover should track this value.
+	LevelSyncCrossoverRows int `json:"levelsync_crossover_rows,omitempty"`
 }
 
 func main() {
@@ -414,16 +428,31 @@ func positionalRows(ds *parclass.Dataset, n int) [][]string {
 // dataset, algorithm and processor count), prints per-run build-time ratios
 // and allocation deltas, and returns an error when any matched run regressed
 // by more than 10% — so `make benchcmp` fails the build on a perf loss.
+// Serve rows are diffed too (matched on dataset, mode, batch size and the
+// forest/levelsync columns when present — absent columns add nothing to the
+// key, so rows written before a column existed still match), but only
+// informationally: serving throughput on a shared host is too noisy to gate.
 func compareReports(oldPath, newPath string) error {
-	load := func(path string) (map[string]run, []string, error) {
+	loadReport := func(path string) (*report, error) {
 		buf, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		var rep report
 		if err := json.Unmarshal(buf, &rep); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
+		return &rep, nil
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	index := func(rep *report) (map[string]run, []string) {
 		m := make(map[string]run, len(rep.Runs))
 		var order []string
 		for _, r := range rep.Runs {
@@ -437,16 +466,10 @@ func compareReports(oldPath, newPath string) error {
 			m[key] = r
 			order = append(order, key)
 		}
-		return m, order, nil
+		return m, order
 	}
-	oldRuns, _, err := load(oldPath)
-	if err != nil {
-		return err
-	}
-	newRuns, order, err := load(newPath)
-	if err != nil {
-		return err
-	}
+	oldRuns, _ := index(oldRep)
+	newRuns, order := index(newRep)
 
 	const regressionTolerance = 1.10
 	fmt.Printf("%-32s %10s %10s %8s %12s\n", "run", "old(s)", "new(s)", "ratio", "mallocs")
@@ -473,12 +496,60 @@ func compareReports(oldPath, newPath string) error {
 	if matched == 0 {
 		return fmt.Errorf("no runs of %s match any run of %s", newPath, oldPath)
 	}
+	compareServeRuns(oldRep, newRep)
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d run(s) regressed by more than %.0f%%: %s",
 			len(regressions), (regressionTolerance-1)*100, strings.Join(regressions, ", "))
 	}
 	fmt.Printf("%d runs compared, no regression above %.0f%%\n", matched, (regressionTolerance-1)*100)
 	return nil
+}
+
+// serveKey identifies a serve row across reports. Optional columns (Trees,
+// LevelSync) extend the key only when set, so rows from files written
+// before those columns existed keep matching instead of all showing up as
+// "(no baseline)".
+func serveKey(r serveRun) string {
+	key := fmt.Sprintf("serve/%s/%s/B=%d", r.Dataset, r.Mode, r.BatchPerReq)
+	if r.Trees > 0 {
+		key += fmt.Sprintf("/T=%d", r.Trees)
+	}
+	if r.LevelSync != "" {
+		key += "/ls=" + r.LevelSync
+	}
+	return key
+}
+
+// compareServeRuns prints the serving-row diff: rows/s old vs new for every
+// config present in both files. Informational only — closed-loop serving
+// throughput on a shared 1-vCPU host swings far more than the 10% build
+// gate, so a serve delta never fails the comparison.
+func compareServeRuns(oldRep, newRep *report) {
+	if len(newRep.ServeRuns) == 0 {
+		return
+	}
+	oldServe := make(map[string]serveRun, len(oldRep.ServeRuns))
+	for _, r := range oldRep.ServeRuns {
+		oldServe[serveKey(r)] = r
+	}
+	fmt.Printf("\n%-52s %12s %12s %8s\n", "serve run (informational)", "old rows/s", "new rows/s", "ratio")
+	for _, nr := range newRep.ServeRuns {
+		key := serveKey(nr)
+		or, ok := oldServe[key]
+		if !ok {
+			fmt.Printf("%-52s %12s %12.0f %8s  (no baseline)\n", key, "-", nr.RowsPerSec, "-")
+			continue
+		}
+		ratio := 0.0
+		if or.RowsPerSec > 0 {
+			ratio = nr.RowsPerSec / or.RowsPerSec
+		}
+		fmt.Printf("%-52s %12.0f %12.0f %7.2fx\n", key, or.RowsPerSec, nr.RowsPerSec, ratio)
+	}
+	if oc, nc := oldRep.LevelSyncCrossoverRows, newRep.LevelSyncCrossoverRows; nc != 0 || oc != 0 {
+		fmt.Printf("levelsync crossover: %d -> %d rows\n", oc, nc)
+	}
+	fmt.Println()
 }
 
 // serveBench is `-serve` mode: it trains one model over spec, serves it
@@ -498,9 +569,16 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 		return fmt.Errorf("training %s: %w", spec, err)
 	}
 
-	runOne := func(mode string, bcfg *serve.BatchConfig, arrival float64) (serveRun, error) {
+	runOne := func(mode string, m parclass.Predictor, lsName string, batchRows int, bcfg *serve.BatchConfig, arrival float64) (serveRun, error) {
 		s := serve.New(serve.DefaultModelName)
-		if _, err := s.Load(serve.DefaultModelName, model, "benchjson -serve "+spec); err != nil {
+		if lsName != "" {
+			lsMode, err := parclass.ParseLevelSyncMode(lsName)
+			if err != nil {
+				return serveRun{}, err
+			}
+			s.SetLevelSyncMode(lsMode)
+		}
+		if _, err := s.Load(serve.DefaultModelName, m, "benchjson -serve "+spec); err != nil {
 			return serveRun{}, err
 		}
 		queueDepth := 0
@@ -519,7 +597,7 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 		cfg := loadtest.Config{
 			BaseURL:    ts.URL,
 			Positional: true,
-			Batch:      batch,
+			Batch:      batchRows,
 			Duration:   dur,
 			Seed:       seed,
 		}
@@ -535,13 +613,14 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 		if res.OK == 0 {
 			return serveRun{}, fmt.Errorf("%s: no successful requests (%d shed, %d errors)", mode, res.Shed, res.Errors)
 		}
-		return serveRun{
+		sr := serveRun{
 			Dataset:     spec,
 			Mode:        mode,
 			Positional:  true,
+			LevelSync:   lsName,
 			Concurrency: cfg.Concurrency,
 			ArrivalRate: arrival,
-			BatchPerReq: batch,
+			BatchPerReq: batchRows,
 			QueueDepth:  queueDepth,
 			RowsPerSec:  res.RowsPerSec(),
 			ReqPerSec:   res.ReqPerSec(),
@@ -552,11 +631,15 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 			Shed:        res.Shed,
 			Errors:      res.Errors,
 			ShedRate:    res.ShedRate(),
-		}, nil
+		}
+		if nt := m.NumTrees(); nt > 1 {
+			sr.Trees = nt
+		}
+		return sr, nil
 	}
 
 	var runs []serveRun
-	inline, err := runOne("inline", nil, 0)
+	inline, err := runOne("inline", model, "", batch, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -564,7 +647,7 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 	log.Printf("%-17s %s rows/s (%s req/s) p99=%v", "inline", fmtServeRate(inline.RowsPerSec),
 		fmtServeRate(inline.ReqPerSec), time.Duration(inline.P99US)*time.Microsecond)
 
-	batchedRun, err := runOne("batched", &serve.BatchConfig{}, 0)
+	batchedRun, err := runOne("batched", model, "", batch, &serve.BatchConfig{}, 0)
 	if err != nil {
 		return err
 	}
@@ -582,13 +665,39 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 	if overloadRate < 100 {
 		overloadRate = 100
 	}
-	overload, err := runOne("batched-overload", &serve.BatchConfig{QueueDepth: 16}, overloadRate)
+	overload, err := runOne("batched-overload", model, "", batch, &serve.BatchConfig{QueueDepth: 16}, overloadRate)
 	if err != nil {
 		return err
 	}
 	runs = append(runs, overload)
 	log.Printf("%-17s %s rows/s ok, %.1f%% shed at %.0f req/s offered", "batched-overload",
 		fmtServeRate(overload.RowsPerSec), 100*overload.ShedRate, overloadRate)
+
+	// Walker vs level-sync A/B on a 25-member forest. The in-process pair
+	// times the fused kernels directly (no HTTP, 256-row batches — the
+	// micro-batcher's window size); the HTTP pair drives the same forest
+	// through the full serve stack with the server-wide kernel mode forced
+	// each way. The sweep also finds the batch size where the level kernel
+	// overtakes the walker on this host — the auto-mode crossover.
+	forest, err := parclass.TrainForest(ds, parclass.Options{Trees: 25, ForestSeed: seed})
+	if err != nil {
+		return fmt.Errorf("training %s forest: %w", spec, err)
+	}
+	abRuns, crossover, err := levelSyncAB(forest, ds, spec)
+	if err != nil {
+		return err
+	}
+	runs = append(runs, abRuns...)
+	for _, lsName := range []string{"off", "on"} {
+		r, err := runOne("batched-forest", forest, lsName, 256, &serve.BatchConfig{}, 0)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+		log.Printf("%-17s %s rows/s (%s req/s) p99=%v levelsync=%s", "batched-forest",
+			fmtServeRate(r.RowsPerSec), fmtServeRate(r.ReqPerSec),
+			time.Duration(r.P99US)*time.Microsecond, lsName)
+	}
 
 	// Append to the existing report so the serving rows live beside the
 	// build sweep in one document; start a fresh one if outPath is new.
@@ -607,6 +716,7 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 		}
 	}
 	rep.ServeRuns = runs
+	rep.LevelSyncCrossoverRows = crossover
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -621,6 +731,77 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 	}
 	log.Printf("wrote %s (%d serve runs)", outPath, len(runs))
 	return nil
+}
+
+// levelSyncAB times the forest's two batch kernels directly — the preorder
+// walker (LevelSyncOff) against the level-synchronous kernel (LevelSyncOn)
+// over identical 256-row positional batches — and sweeps batch sizes to
+// find the auto-mode crossover: the smallest batch where the level kernel
+// matches or beats the walker (0 when the walker wins at every size).
+func levelSyncAB(f *parclass.Forest, ds *parclass.Dataset, spec string) ([]serveRun, int, error) {
+	if err := f.Compile(); err != nil {
+		return nil, 0, err
+	}
+	rate := func(rows [][]string, mode parclass.LevelSyncMode) (float64, error) {
+		if _, err := f.PredictValuesBatchMode(rows, mode); err != nil {
+			return 0, err
+		}
+		done := 0
+		start := time.Now()
+		for time.Since(start) < 300*time.Millisecond {
+			if _, err := f.PredictValuesBatchMode(rows, mode); err != nil {
+				return 0, err
+			}
+			done += len(rows)
+		}
+		return float64(done) / time.Since(start).Seconds(), nil
+	}
+
+	rows := positionalRows(ds, 256)
+	walker, err := rate(rows, parclass.LevelSyncOff)
+	if err != nil {
+		return nil, 0, err
+	}
+	level, err := rate(rows, parclass.LevelSyncOn)
+	if err != nil {
+		return nil, 0, err
+	}
+	mk := func(mode, ls string, rps float64, batch int) serveRun {
+		return serveRun{
+			Dataset: spec, Mode: mode, Positional: true, Trees: f.NumTrees(),
+			LevelSync: ls, BatchPerReq: batch, RowsPerSec: rps,
+		}
+	}
+	out := []serveRun{
+		mk("kernel-walker", "off", walker, 256),
+		mk("kernel-levelsync", "on", level, 256),
+	}
+	log.Printf("%-17s %s rows/s walker vs %s rows/s levelsync (%.2fx, T=%d, 256-row batches)",
+		"kernel A/B", fmtServeRate(walker), fmtServeRate(level), level/walker, f.NumTrees())
+
+	crossover := 0
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		sw := positionalRows(ds, n)
+		w, err := rate(sw, parclass.LevelSyncOff)
+		if err != nil {
+			return nil, 0, err
+		}
+		l, err := rate(sw, parclass.LevelSyncOn)
+		if err != nil {
+			return nil, 0, err
+		}
+		log.Printf("  crossover sweep B=%-5d walker=%s rows/s levelsync=%s rows/s (%.2fx)",
+			n, fmtServeRate(w), fmtServeRate(l), l/w)
+		if crossover == 0 && l >= w {
+			crossover = n
+		}
+	}
+	if crossover > 0 {
+		log.Printf("  level-sync crossover: %d rows (DefaultLevelSyncCrossover should match)", crossover)
+	} else {
+		log.Printf("  level-sync crossover: walker won at every size tried")
+	}
+	return out, crossover, nil
 }
 
 func fmtServeRate(v float64) string {

@@ -46,6 +46,8 @@ func main() {
 			"open-loop arrival rate in requests/second (0 = closed loop); past server capacity this measures shedding")
 		noBatch = flag.Bool("no-batch", false,
 			`set "no_batch" on every request so the server skips micro-batch coalescing`)
+		levelSync = flag.String("levelsync", "",
+			`set "level_sync" on every request: on (level-sync kernel), off (preorder walker), auto/"" (server's setting)`)
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 		Batch:       *batch,
 		Positional:  *positional,
 		NoBatch:     *noBatch,
+		LevelSync:   *levelSync,
 		Duration:    *duration,
 		Requests:    *requests,
 		ArrivalRate: *arrival,

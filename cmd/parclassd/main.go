@@ -69,6 +69,8 @@ func main() {
 			"predict admission queue capacity in requests; a full queue sheds with 429 + Retry-After")
 		predictMaxBytes = flag.Int64("predict-max-bytes", serve.DefaultPredictMaxBytes,
 			"POST /predict body cap in bytes (oversized bodies answer 413)")
+		levelSync = flag.String("levelsync", "auto",
+			"batch predict kernel: auto (level-sync for batches past the measured crossover), on, off")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
 			"time limit for reading a request's headers (0 = none; Slowloris guard)")
 		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
@@ -80,10 +82,16 @@ func main() {
 	)
 	flag.Parse()
 
+	lsMode, err := parclass.ParseLevelSyncMode(*levelSync)
+	if err != nil {
+		log.Fatalf("-levelsync: %v", err)
+	}
+
 	mon := parclass.NewBuildMonitor()
 	s := serve.New(*name)
 	s.SetBuildMonitor(mon)
 	s.SetPredictMaxBytes(*predictMaxBytes)
+	s.SetLevelSyncMode(lsMode)
 	if *batchRows > 0 {
 		if err := s.EnableBatching(serve.BatchConfig{
 			MaxRows:    *batchRows,

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -36,10 +37,22 @@ type Forest struct {
 	seed        int64
 	timings     Timings
 
+	// oobErr and oobRows hold the out-of-bag error estimate computed by
+	// TrainForest; oobRows is 0 when no estimate exists (SampleFrac 1, or
+	// a forest loaded from disk).
+	oobErr  float64
+	oobRows int
+
 	// compiled is the fused flat-pool predictor, built lazily by Compile.
 	compileOnce sync.Once
 	compiled    *flat.Forest
 	compileErr  error
+	// level is the per-member level-array layout backing the
+	// level-synchronous batch kernel; nil when any member is too deep for
+	// it, in which case batches always take the fused walker.
+	level *flat.LevelForest
+	// levelMode holds the SetLevelSync selection (a LevelSyncMode).
+	levelMode atomic.Int32
 	// valsPool recycles per-call decode + vote buffers.
 	valsPool sync.Pool
 }
@@ -90,6 +103,7 @@ func TrainForestContext(ctx context.Context, ds *Dataset, opt Options) (*Forest,
 		return nil, fmt.Errorf("parclass: empty training set")
 	}
 	nattr := ds.NumAttrs()
+	nclass := ds.tbl.Schema().NumClasses()
 
 	// Member builds run with one worker each: trees are the parallel unit.
 	memberOpt := opt
@@ -103,6 +117,19 @@ func TrainForestContext(ctx context.Context, ds *Dataset, opt Options) (*Forest,
 	buildCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Out-of-bag scoring: each bootstrap leaves ~1/e of the rows out of
+	// its member's sample, so those rows are an honest test set for that
+	// member. Members vote their out-of-bag rows into one shared n×nclass
+	// histogram; integer adds commute, so the estimate is deterministic
+	// for every Procs. SampleFrac 1 disables sampling and with it OOB.
+	var (
+		oobMu    sync.Mutex
+		oobVotes []int32
+	)
+	if opt.SampleFrac != 1 {
+		oobVotes = make([]int32, n*nclass)
+	}
+
 	trees := make([]*tree.Tree, nTrees)
 	tims := make([]core.Timings, nTrees)
 	err := sched.Run(opt.Procs, nTrees, cancel, func(worker, idx int) error {
@@ -113,8 +140,10 @@ func TrainForestContext(ctx context.Context, ds *Dataset, opt Options) (*Forest,
 		}
 		rng := rand.New(rand.NewSource(memberSeed(opt.ForestSeed, idx)))
 		tbl := ds.tbl
+		var sampleIdx []int
 		if opt.SampleFrac != 1 {
-			tbl = tbl.Subset(bootstrapIndices(rng, n, opt.SampleFrac))
+			sampleIdx = bootstrapIndices(rng, n, opt.SampleFrac)
+			tbl = tbl.Subset(sampleIdx)
 		}
 		cfg := memberOpt.coreConfig()
 		cfg.Context = buildCtx
@@ -131,6 +160,29 @@ func TrainForestContext(ctx context.Context, ds *Dataset, opt Options) (*Forest,
 			return fmt.Errorf("parclass: forest tree %d: schema diverged", idx)
 		}
 		trees[idx] = tr
+		if oobVotes != nil {
+			inBag := make([]bool, n)
+			for _, r := range sampleIdx {
+				inBag[r] = true
+			}
+			// Walk the member's out-of-bag rows outside the lock, then
+			// merge the votes in one short critical section.
+			pred := make([]int32, n)
+			for i := 0; i < n; i++ {
+				if inBag[i] {
+					pred[i] = -1
+					continue
+				}
+				pred[i] = int32(tr.Predict(ds.tbl.Row(i)))
+			}
+			oobMu.Lock()
+			for i, c := range pred {
+				if c >= 0 {
+					oobVotes[i*int(nclass)+int(c)]++
+				}
+			}
+			oobMu.Unlock()
+		}
 		return nil
 	})
 	if err != nil {
@@ -149,8 +201,43 @@ func TrainForestContext(ctx context.Context, ds *Dataset, opt Options) (*Forest,
 		f.timings.Sort += tm.Sort
 		f.timings.Build += tm.Build
 	}
+	if oobVotes != nil {
+		wrong, scored := 0, 0
+		for i := 0; i < n; i++ {
+			seg := oobVotes[i*nclass : (i+1)*nclass]
+			total := int32(0)
+			for _, v := range seg {
+				total += v
+			}
+			if total == 0 {
+				continue
+			}
+			scored++
+			if flat.Majority(seg) != ds.tbl.Class(i) {
+				wrong++
+			}
+		}
+		if scored > 0 {
+			f.oobErr = float64(wrong) / float64(scored)
+			f.oobRows = scored
+		}
+	}
 	return f, nil
 }
+
+// OOBError returns the forest's out-of-bag error estimate: each training
+// row is scored by the majority vote of only the members whose bootstrap
+// left it out (ties to the lowest class code, matching Predict), so the
+// estimate needs no holdout set. ok is false when no estimate exists —
+// SampleFrac 1 (no sampling, every member saw every row), a bootstrap
+// that happened to cover all rows, or a forest loaded from disk.
+func (f *Forest) OOBError() (err float64, ok bool) {
+	return f.oobErr, f.oobRows > 0
+}
+
+// OOBRows reports how many training rows the OOB estimate scored (rows
+// left out by at least one member's bootstrap).
+func (f *Forest) OOBRows() int { return f.oobRows }
 
 // memberSeed derives tree idx's RNG seed from the forest seed with a
 // splitmix64 step, so member streams are decorrelated and independent of
@@ -236,10 +323,22 @@ func (f *Forest) Compile() error {
 		f.compiled, f.compileErr = flat.CompileForest(f.trees)
 		if f.compileErr != nil {
 			f.compileErr = fmt.Errorf("%w: %v", ErrNotCompiled, f.compileErr)
+			return
 		}
+		// Best-effort, like Model: a member past flat.MaxLevelDepth leaves
+		// level nil and every batch takes the fused walker.
+		f.level, _ = flat.BuildLevelForest(f.compiled)
 	})
 	return f.compileErr
 }
+
+// SetLevelSync selects the batch-predict kernel (see LevelSyncMode); the
+// default LevelSyncAuto engages the level-synchronous kernel for batches
+// of at least LevelSyncCrossover rows. Safe for concurrent use.
+func (f *Forest) SetLevelSync(mode LevelSyncMode) { f.levelMode.Store(int32(mode)) }
+
+// LevelSync reports the current kernel selection.
+func (f *Forest) LevelSync() LevelSyncMode { return LevelSyncMode(f.levelMode.Load()) }
 
 // getBuf leases a decode + vote scratch sized for the schema.
 func (f *Forest) getBuf() *forestBuf {
@@ -342,7 +441,13 @@ func (f *Forest) votesToProba(counts []int32) map[string]float64 {
 // an N-tree forest costs one dispatch (and one decode per row), not N. A
 // malformed row fails the whole batch with an error naming the row index.
 func (f *Forest) PredictValuesBatch(rows [][]string) ([]string, error) {
-	return f.batch(len(rows), func(i int, tu dataset.Tuple) error {
+	return f.PredictValuesBatchMode(rows, LevelSyncAuto)
+}
+
+// PredictValuesBatchMode is PredictValuesBatch with a per-call kernel
+// override; LevelSyncAuto inherits the forest's SetLevelSync mode.
+func (f *Forest) PredictValuesBatchMode(rows [][]string, mode LevelSyncMode) ([]string, error) {
+	return f.batch(len(rows), mode, func(i int, tu dataset.Tuple) error {
 		vals := rows[i]
 		if len(vals) != len(f.schema.Attrs) {
 			return fmt.Errorf("row %d: %w: got %d values, schema has %d attributes",
@@ -360,7 +465,13 @@ func (f *Forest) PredictValuesBatch(rows [][]string) ([]string, error) {
 // PredictBatch classifies many named rows at once, sharded like
 // PredictValuesBatch.
 func (f *Forest) PredictBatch(rows []map[string]string) ([]string, error) {
-	return f.batch(len(rows), func(i int, tu dataset.Tuple) error {
+	return f.PredictBatchMode(rows, LevelSyncAuto)
+}
+
+// PredictBatchMode is PredictBatch with a per-call kernel override;
+// LevelSyncAuto inherits the forest's SetLevelSync mode.
+func (f *Forest) PredictBatchMode(rows []map[string]string, mode LevelSyncMode) ([]string, error) {
+	return f.batch(len(rows), mode, func(i int, tu dataset.Tuple) error {
 		if err := f.dec.decodeRowInto(rows[i], tu); err != nil {
 			return fmt.Errorf("row %d: %w", i, err)
 		}
@@ -368,9 +479,13 @@ func (f *Forest) PredictBatch(rows []map[string]string) ([]string, error) {
 	})
 }
 
-// batch is the shared sharded decode + vote loop: decode(i, tu) fills row
-// i's tuple, then the compiled forest votes it in place.
-func (f *Forest) batch(n int, decode func(i int, tu dataset.Tuple) error) ([]string, error) {
+// batch is the shared sharded decode + classify loop: decode(i, tu) fills
+// row i's tuple, then the shard is classified by the kernel
+// resolveLevelSync picks — the fused walker votes each row inline with
+// the decode; the level-synchronous kernel runs all members over the
+// shard's slice of the SoA block once its decode finishes, vote fused
+// into each member's final level.
+func (f *Forest) batch(n int, mode LevelSyncMode, decode func(i int, tu dataset.Tuple) error) ([]string, error) {
 	if err := f.Compile(); err != nil {
 		return nil, err
 	}
@@ -381,6 +496,7 @@ func (f *Forest) batch(n int, decode func(i int, tu dataset.Tuple) error) ([]str
 	contBuf := make([]float64, n*nAttrs)
 	catBuf := make([]int32, n*nAttrs)
 	codes := make([]int32, n)
+	useLevel := resolveLevelSync(mode, f.levelMode.Load(), n, f.level != nil)
 
 	// A forest row is ~NumTrees() tree walks, so the shard worth a
 	// goroutine shrinks with ensemble size.
@@ -399,7 +515,10 @@ func (f *Forest) batch(n int, decode func(i int, tu dataset.Tuple) error) ([]str
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			counts := make([]int32, f.nclass)
+			var counts []int32
+			if !useLevel {
+				counts = make([]int32, f.nclass)
+			}
 			for i := lo; i < hi; i++ {
 				tu := dataset.Tuple{
 					Cont: contBuf[i*nAttrs : (i+1)*nAttrs],
@@ -409,8 +528,13 @@ func (f *Forest) batch(n int, decode func(i int, tu dataset.Tuple) error) ([]str
 					errs[w] = err
 					return
 				}
-				clear(counts)
-				codes[i] = f.compiled.Vote(tu, counts)
+				if !useLevel {
+					clear(counts)
+					codes[i] = f.compiled.Vote(tu, counts)
+				}
+			}
+			if useLevel {
+				f.level.ClassifyRange(contBuf, catBuf, nAttrs, lo, hi, codes)
 			}
 		}(w, lo, hi)
 	}

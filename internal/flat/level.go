@@ -1,0 +1,153 @@
+package flat
+
+// The second compiled layout: breadth-first level arrays. The preorder
+// array (flat.Tree) is shaped for one row chasing one path — the next node
+// is a data-dependent branch per step. The level layout is shaped for a
+// whole micro-batch advancing in lockstep, the CPU port of Spencer's
+// GPGPU level-synchronous tree evaluation: nodes laid out level by level
+// in contiguous slabs, every per-node field split into its own parallel
+// SoA slice, and a node's children addressed by index arithmetic — an
+// internal node at level l whose rank among that level's internal nodes
+// is s has its children at LevelBase[l+1] + 2s and LevelBase[l+1] + 2s + 1,
+// so the per-row update is the branch-free
+//
+//	next = Kid[node] + step        // step ∈ {0 left, 1 right}
+//
+// with Kid[node] precomputed as LevelBase[l+1] + 2s. Leaves self-loop
+// (Kid = own id, Mask = 0) so rows that finish early park harmlessly while
+// the rest of the batch keeps descending.
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// MaxLevelDepth caps the level layout's depth. A level-synchronous pass
+// costs the whole batch one advance per level, so a pathologically deep
+// tree (depth ≈ rows) would make the kernel quadratic; past this cap
+// BuildLevel refuses and callers fall back to the preorder walker.
+const MaxLevelDepth = 1024
+
+// LevelTree is one tree compiled into breadth-first level arrays. All
+// per-node fields are parallel SoA slices indexed by level-order node id.
+// A LevelTree is immutable after BuildLevel and safe for concurrent use.
+type LevelTree struct {
+	// Attr is the split attribute per node; leaves store 0 (a valid index,
+	// read but ignored — Mask freezes the row before the step applies).
+	Attr []int32
+	// Class is the node's majority class; for leaves, the prediction.
+	Class []int32
+	// Threshold is the continuous split point (value < Threshold ⇒ left).
+	Threshold []float64
+	// SubsetOff and SubsetWords locate the categorical left-branch bitmask
+	// in Subsets; SubsetWords is 0 for continuous splits and leaves.
+	SubsetOff   []int32
+	SubsetWords []int32
+	// Kid is the left child's level-order id (right child is Kid+1);
+	// leaves self-loop with Kid = own id.
+	Kid []int32
+	// Mask is the step mask: 1 for internal nodes, 0 for leaves. ANDing the
+	// step with it parks rows at leaves without a branch.
+	Mask []int32
+	// Subsets is the categorical bitmask pool (shared with the preorder
+	// layout the tree was built from).
+	Subsets []uint64
+	// LevelBase[l] is the level-order id of level l's first node, with a
+	// final sentinel holding the node count: level l spans
+	// LevelBase[l]..LevelBase[l+1].
+	LevelBase []int32
+	Schema    *dataset.Schema
+}
+
+// Depth is the number of levels (a lone leaf is depth 1).
+func (lt *LevelTree) Depth() int { return len(lt.LevelBase) - 1 }
+
+// NumNodes is the node count.
+func (lt *LevelTree) NumNodes() int { return len(lt.Attr) }
+
+// BuildLevel re-lays a compiled preorder tree into level arrays. The
+// result classifies identically to t (the level_test property tests hold
+// this as an invariant against both the preorder walk and the pointer
+// tree).
+func BuildLevel(t *Tree) (*LevelTree, error) {
+	if t == nil || len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("flat: empty tree")
+	}
+	return buildLevel(t.Nodes, t.Subsets, 0, t.Schema)
+}
+
+// LevelForest is a compiled ensemble in level-array form: one LevelTree
+// per member over one shared subset pool. Prediction runs the batch
+// through each member's level passes in turn, accumulating the vote as
+// each member's final level resolves, so an N-member forest costs N
+// kernel passes over row buffers that stay hot — not N branchy walks.
+type LevelForest struct {
+	Members []*LevelTree
+	Schema  *dataset.Schema
+	// NClass is the schema's class count, the width of a vote histogram.
+	NClass int
+}
+
+// BuildLevelForest re-lays a compiled preorder forest into per-member
+// level arrays sharing f's subset pool.
+func BuildLevelForest(f *Forest) (*LevelForest, error) {
+	if f == nil || len(f.Roots) == 0 {
+		return nil, fmt.Errorf("flat: empty forest")
+	}
+	lf := &LevelForest{Schema: f.Schema, NClass: f.NClass}
+	for ti, root := range f.Roots {
+		lt, err := buildLevel(f.Nodes, f.Subsets, root, f.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("flat: forest tree %d: %w", ti, err)
+		}
+		lf.Members = append(lf.Members, lt)
+	}
+	return lf, nil
+}
+
+// buildLevel walks the preorder pool breadth-first from root, assigning
+// level-order ids and emitting the SoA slices. Children of a level's
+// internal nodes are appended in parent order, so a parent's pair is
+// adjacent in the next level and Kid+1 addresses the right child.
+func buildLevel(nodes []Node, subsets []uint64, root int32, schema *dataset.Schema) (*LevelTree, error) {
+	lt := &LevelTree{Subsets: subsets, Schema: schema}
+	frontier := []int32{root}
+	next := make([]int32, 0, 2)
+	for len(frontier) > 0 {
+		base := int32(len(lt.Attr))
+		lt.LevelBase = append(lt.LevelBase, base)
+		if len(lt.LevelBase) > MaxLevelDepth {
+			return nil, fmt.Errorf("flat: tree deeper than %d levels", MaxLevelDepth)
+		}
+		childBase := base + int32(len(frontier))
+		next = next[:0]
+		for _, pi := range frontier {
+			if pi < 0 || int(pi) >= len(nodes) {
+				return nil, fmt.Errorf("flat: node index %d out of pool range", pi)
+			}
+			n := &nodes[pi]
+			id := int32(len(lt.Attr))
+			lt.Class = append(lt.Class, n.Class)
+			if n.IsLeaf() {
+				lt.Attr = append(lt.Attr, 0)
+				lt.Threshold = append(lt.Threshold, 0)
+				lt.SubsetOff = append(lt.SubsetOff, 0)
+				lt.SubsetWords = append(lt.SubsetWords, 0)
+				lt.Kid = append(lt.Kid, id) // self-loop
+				lt.Mask = append(lt.Mask, 0)
+				continue
+			}
+			lt.Attr = append(lt.Attr, n.Attr)
+			lt.Threshold = append(lt.Threshold, n.Threshold)
+			lt.SubsetOff = append(lt.SubsetOff, n.SubsetOff)
+			lt.SubsetWords = append(lt.SubsetWords, n.SubsetWords)
+			lt.Kid = append(lt.Kid, childBase+int32(len(next)))
+			lt.Mask = append(lt.Mask, 1)
+			next = append(next, pi+1, n.Right) // preorder: left child is adjacent
+		}
+		frontier = append(frontier[:0], next...)
+	}
+	lt.LevelBase = append(lt.LevelBase, int32(len(lt.Attr)))
+	return lt, nil
+}

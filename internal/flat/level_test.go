@@ -1,0 +1,382 @@
+package flat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/split"
+	"repro/internal/tree"
+)
+
+// soaBlock packs tuples into the row-major SoA buffers ClassifyRange reads
+// (the same layout the batch decode paths produce).
+func soaBlock(tus []dataset.Tuple, nattr int) (cont []float64, cat []int32) {
+	cont = make([]float64, len(tus)*nattr)
+	cat = make([]int32, len(tus)*nattr)
+	for i, tu := range tus {
+		copy(cont[i*nattr:(i+1)*nattr], tu.Cont)
+		copy(cat[i*nattr:(i+1)*nattr], tu.Cat)
+	}
+	return cont, cat
+}
+
+// levelClassify runs the kernel over a whole batch starting at lo = 0.
+func levelClassify(lt *LevelTree, tus []dataset.Tuple, nattr int) []int32 {
+	cont, cat := soaBlock(tus, nattr)
+	out := make([]int32, len(tus))
+	lt.ClassifyRange(cont, cat, nattr, 0, len(tus), out)
+	return out
+}
+
+// chainTree hand-builds a maximally unbalanced right-leaning chain of depth
+// levels: node at depth d tests x < d, so a row with x = k exits at depth
+// min(⌈k⌉, depth). This is the kernel's worst shape — one live row per level.
+func chainTree(depth int) *tree.Tree {
+	schema := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Continuous}},
+		Classes: []string{"lo", "hi"},
+	}
+	node := &tree.Node{Class: 1}
+	for d := depth - 1; d >= 1; d-- {
+		node = &tree.Node{
+			Class: 0,
+			Split: &split.Candidate{Attr: 0, Kind: dataset.Continuous, Threshold: float64(d), Valid: true},
+			Left:  &tree.Node{Class: int32(d % 2)},
+			Right: node,
+		}
+	}
+	return &tree.Tree{Root: node, Schema: schema}
+}
+
+// bigCatTree hand-builds a categorical-heavy tree over a card-category
+// attribute; card > 64 forces multi-word subset bitmasks through the
+// kernel's word-indexed probe.
+func bigCatTree(card int) *tree.Tree {
+	cats := make([]string, card)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("c%d", i)
+	}
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "c", Kind: dataset.Categorical, Categories: cats},
+			{Name: "x", Kind: dataset.Continuous},
+		},
+		Classes: []string{"a", "b", "c"},
+	}
+	set1 := split.NewCatSet(card)
+	set2 := split.NewCatSet(card)
+	for i := 0; i < card; i++ {
+		if i%3 == 0 {
+			set1.Add(int32(i))
+		}
+		if i%5 != 0 {
+			set2.Add(int32(i))
+		}
+	}
+	root := &tree.Node{
+		Split: &split.Candidate{Attr: 0, Kind: dataset.Categorical, Subset: set1, Valid: true},
+		Left: &tree.Node{
+			Split: &split.Candidate{Attr: 1, Kind: dataset.Continuous, Threshold: 0.5, Valid: true},
+			Left:  &tree.Node{Class: 0},
+			Right: &tree.Node{Class: 1},
+		},
+		Right: &tree.Node{
+			Split: &split.Candidate{Attr: 0, Kind: dataset.Categorical, Subset: set2, Valid: true},
+			Left:  &tree.Node{Class: 2},
+			Right: &tree.Node{Class: 0},
+		},
+	}
+	return &tree.Tree{Root: root, Schema: schema}
+}
+
+// TestLevelLayoutInvariants checks the level arrays' structural contract
+// over trained, chain and wide-categorical trees: LevelBase strictly
+// increasing with the node count as sentinel, internal nodes pointing at an
+// adjacent child pair inside the next level's span, leaves self-looping
+// with no split payload.
+func TestLevelLayoutInvariants(t *testing.T) {
+	shapes := map[string]*tree.Tree{
+		"chain-40": chainTree(40),
+		"cat-130":  bigCatTree(130),
+	}
+	for _, fn := range []int{1, 7} {
+		tr, _ := grow(t, fn, 3000, 0)
+		shapes[fmt.Sprintf("F%d", fn)] = tr
+	}
+	for name, tr := range shapes {
+		ft, err := Compile(tr)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		lt, err := BuildLevel(ft)
+		if err != nil {
+			t.Fatalf("%s: BuildLevel: %v", name, err)
+		}
+		if lt.NumNodes() != len(ft.Nodes) {
+			t.Fatalf("%s: level layout has %d nodes, preorder has %d", name, lt.NumNodes(), len(ft.Nodes))
+		}
+		n := lt.NumNodes()
+		for _, sl := range [][]int32{lt.Class, lt.SubsetOff, lt.SubsetWords, lt.Kid, lt.Mask} {
+			if len(sl) != n {
+				t.Fatalf("%s: SoA slice length %d, want %d", name, len(sl), n)
+			}
+		}
+		if len(lt.Threshold) != n {
+			t.Fatalf("%s: threshold length %d, want %d", name, len(lt.Threshold), n)
+		}
+		lb := lt.LevelBase
+		if len(lb) < 2 || lb[0] != 0 || lb[len(lb)-1] != int32(n) {
+			t.Fatalf("%s: bad LevelBase bounds %v (n=%d)", name, lb, n)
+		}
+		for l := 1; l < len(lb); l++ {
+			if lb[l] <= lb[l-1] {
+				t.Fatalf("%s: LevelBase not strictly increasing at %d: %v", name, l, lb)
+			}
+		}
+		for l := 0; l < lt.Depth(); l++ {
+			for id := lb[l]; id < lb[l+1]; id++ {
+				switch lt.Mask[id] {
+				case 0: // leaf: self-loop, no split payload
+					if lt.Kid[id] != id {
+						t.Fatalf("%s: leaf %d kid %d, want self-loop", name, id, lt.Kid[id])
+					}
+					if lt.SubsetWords[id] != 0 {
+						t.Fatalf("%s: leaf %d carries a subset", name, id)
+					}
+				case 1: // internal: adjacent child pair in the next level
+					if l+1 >= lt.Depth() {
+						t.Fatalf("%s: internal node %d on the last level", name, id)
+					}
+					kid := lt.Kid[id]
+					if kid < lb[l+1] || kid+1 >= lb[l+2] {
+						t.Fatalf("%s: node %d children [%d,%d] outside level %d span [%d,%d)",
+							name, id, kid, kid+1, l+1, lb[l+1], lb[l+2])
+					}
+					if w := lt.SubsetWords[id]; w > 0 {
+						if int(lt.SubsetOff[id])+int(w) > len(lt.Subsets) {
+							t.Fatalf("%s: node %d subset out of pool bounds", name, id)
+						}
+						if lt.Schema.Attrs[lt.Attr[id]].Kind != dataset.Categorical {
+							t.Fatalf("%s: node %d subset on continuous attribute", name, id)
+						}
+					}
+				default:
+					t.Fatalf("%s: node %d mask %d, want 0 or 1", name, id, lt.Mask[id])
+				}
+			}
+		}
+	}
+}
+
+// TestLevelEquivalenceProperty is the kernel's core invariant: on random
+// tuples the level-synchronous classification agrees with both the preorder
+// walk and the pointer tree, for trained F1/F7 trees at full and capped
+// depth.
+func TestLevelEquivalenceProperty(t *testing.T) {
+	for _, fn := range []int{1, 7} {
+		for _, maxDepth := range []int{0, 6} {
+			tr, tbl := grow(t, fn, 4000, maxDepth)
+			ft, err := Compile(tr)
+			if err != nil {
+				t.Fatalf("F%d/d%d: %v", fn, maxDepth, err)
+			}
+			lt, err := BuildLevel(ft)
+			if err != nil {
+				t.Fatalf("F%d/d%d: %v", fn, maxDepth, err)
+			}
+			nattr := len(tr.Schema.Attrs)
+			rng := rand.New(rand.NewSource(int64(fn*100 + maxDepth)))
+			prop := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				tus := make([]dataset.Tuple, 1+r.Intn(7))
+				for i := range tus {
+					tus[i] = randomTuple(r, tr.Schema, tbl)
+				}
+				got := levelClassify(lt, tus, nattr)
+				for i, tu := range tus {
+					if got[i] != tr.Predict(tu) || got[i] != ft.Predict(tu) {
+						return false
+					}
+				}
+				return true
+			}
+			cfg := &quick.Config{MaxCount: 400, Rand: rng}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatalf("F%d/d%d: level kernel diverges from walkers: %v", fn, maxDepth, err)
+			}
+		}
+	}
+}
+
+// TestLevelEquivalenceHandBuiltShapes covers the shapes synthetic training
+// rarely produces: a 40-level right-leaning chain (early-exit path, rows
+// parking at every depth) and >64-category subsets (multi-word bitmask
+// probes, including out-of-domain codes that must fall right).
+func TestLevelEquivalenceHandBuiltShapes(t *testing.T) {
+	t.Run("chain", func(t *testing.T) {
+		tr := chainTree(40)
+		ft, err := Compile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := BuildLevel(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lt.Depth() != 40 {
+			t.Fatalf("chain depth %d, want 40", lt.Depth())
+		}
+		rng := rand.New(rand.NewSource(11))
+		tus := make([]dataset.Tuple, 512)
+		for i := range tus {
+			// Cover every exit depth plus both extremes.
+			x := rng.Float64() * 42
+			tus[i] = dataset.Tuple{Cont: []float64{x - 1}, Cat: []int32{0}}
+		}
+		got := levelClassify(lt, tus, 1)
+		for i, tu := range tus {
+			if want := tr.Predict(tu); got[i] != want {
+				t.Fatalf("row %d (x=%v): level %d, pointer %d", i, tu.Cont[0], got[i], want)
+			}
+		}
+	})
+	t.Run("wide-categorical", func(t *testing.T) {
+		tr := bigCatTree(130)
+		ft, err := Compile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := BuildLevel(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		tus := make([]dataset.Tuple, 1024)
+		for i := range tus {
+			// Codes up to 149 include out-of-domain values past card=130,
+			// which both walkers and the kernel must send right.
+			tus[i] = dataset.Tuple{
+				Cont: []float64{0, rng.Float64()},
+				Cat:  []int32{int32(rng.Intn(150)), 0},
+			}
+		}
+		got := levelClassify(lt, tus, 2)
+		for i, tu := range tus {
+			if want, flat := tr.Predict(tu), ft.Predict(tu); got[i] != want || got[i] != flat {
+				t.Fatalf("row %d (c=%d): level %d, pointer %d, flat %d", i, tu.Cat[0], got[i], want, flat)
+			}
+		}
+	})
+}
+
+// TestLevelForestMatchesVote pins the fused-vote forest kernel to
+// Forest.Vote on a 25-member ensemble, over the full range and over
+// odd-offset shards of the same SoA block (the lo/hi indexing the sharded
+// batch path exercises).
+func TestLevelForestMatchesVote(t *testing.T) {
+	trees := growForest(t, 7, 3000, 25)
+	f, err := CompileForest(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := BuildLevelForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf.Members) != 25 {
+		t.Fatalf("level forest has %d members, want 25", len(lf.Members))
+	}
+	_, tbl := grow(t, 7, 3000, 0)
+	rng := rand.New(rand.NewSource(17))
+	nattr := len(f.Schema.Attrs)
+	tus := make([]dataset.Tuple, 1024)
+	for i := range tus {
+		tus[i] = randomTuple(rng, f.Schema, tbl)
+	}
+	cont, cat := soaBlock(tus, nattr)
+	full := make([]int32, len(tus))
+	lf.ClassifyRange(cont, cat, nattr, 0, len(tus), full)
+	counts := make([]int32, lf.NClass)
+	for i, tu := range tus {
+		clear(counts)
+		if want := f.Vote(tu, counts); full[i] != want {
+			t.Fatalf("row %d: level forest %d, fused vote %d", i, full[i], want)
+		}
+	}
+	// Disjoint shards with odd offsets must reproduce the full-range result.
+	sharded := make([]int32, len(tus))
+	for _, cut := range [][2]int{{0, 337}, {337, 700}, {700, 1024}} {
+		lf.ClassifyRange(cont, cat, nattr, cut[0], cut[1], sharded)
+	}
+	for i := range full {
+		if sharded[i] != full[i] {
+			t.Fatalf("row %d: sharded %d, full-range %d", i, sharded[i], full[i])
+		}
+	}
+}
+
+// TestLevelDepthCap: BuildLevel must refuse trees past MaxLevelDepth so
+// callers fall back to the preorder walker instead of a quadratic kernel.
+func TestLevelDepthCap(t *testing.T) {
+	ft, err := Compile(chainTree(MaxLevelDepth + 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildLevel(ft); err == nil {
+		t.Fatal("BuildLevel accepted a tree past MaxLevelDepth")
+	}
+	ok, err := Compile(chainTree(MaxLevelDepth - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildLevel(ok); err != nil {
+		t.Fatalf("BuildLevel rejected a tree inside the cap: %v", err)
+	}
+}
+
+// TestLevelKernelAllocationBudget gates the kernel's steady state at zero
+// allocations per call (make alloc-check): after one warm-up leases the
+// pooled scratch, repeated ClassifyRange calls for both the single tree and
+// the fused forest must allocate nothing.
+func TestLevelKernelAllocationBudget(t *testing.T) {
+	tr, tbl := grow(t, 7, 3000, 0)
+	ft, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := BuildLevel(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CompileForest(growForest(t, 7, 2000, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := BuildLevelForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nattr := len(tr.Schema.Attrs)
+	rng := rand.New(rand.NewSource(23))
+	tus := make([]dataset.Tuple, 256)
+	for i := range tus {
+		tus[i] = randomTuple(rng, tr.Schema, tbl)
+	}
+	cont, cat := soaBlock(tus, nattr)
+	out := make([]int32, len(tus))
+	lt.ClassifyRange(cont, cat, nattr, 0, len(tus), out) // warm the pool
+	if n := testing.AllocsPerRun(100, func() {
+		lt.ClassifyRange(cont, cat, nattr, 0, len(tus), out)
+	}); n != 0 {
+		t.Fatalf("tree kernel steady state allocates %.1f/op, want 0", n)
+	}
+	lf.ClassifyRange(cont, cat, nattr, 0, len(tus), out)
+	if n := testing.AllocsPerRun(100, func() {
+		lf.ClassifyRange(cont, cat, nattr, 0, len(tus), out)
+	}); n != 0 {
+		t.Fatalf("forest kernel steady state allocates %.1f/op, want 0", n)
+	}
+}

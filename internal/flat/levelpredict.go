@@ -1,0 +1,142 @@
+package flat
+
+// The level-synchronous batch kernel. One pass advances every row in the
+// shard by one tree level: load the row's current node id, evaluate its
+// split against the SoA row buffers, and compute the next id with
+// branch-free index arithmetic — no data-dependent left/right jump for
+// the branch predictor to miss, which is where the preorder walker spends
+// its cycles on batches (each row's descent is a ~50/50 coin flip per
+// node). Rows that reach a leaf park there (Mask zeroes the step and Kid
+// self-loops), and a pass that finds no row on an internal node ends the
+// descent early, so unbalanced trees cost max-occupied-depth passes, not
+// MaxLevelDepth.
+//
+// Row data arrives as the SoA block the batch decode paths already
+// produce: one contiguous float64 array and one contiguous int32 array,
+// row-major with stride nattr (row r's attribute a at [r*nattr+a]).
+// Scratch (current-node ids, vote histograms) comes from a per-worker
+// arena pool, so the kernel's steady state allocates nothing — gated by
+// TestLevelKernelAllocationBudget in make alloc-check.
+
+import "sync"
+
+// levelScratch is one worker's reusable kernel state.
+type levelScratch struct {
+	cur    []int32
+	counts []int32
+}
+
+// scratchPool recycles levelScratch across kernel calls; slices are grown
+// in place and retain capacity, so a worker's steady state reuses one
+// arena.
+var scratchPool = sync.Pool{New: func() any { return &levelScratch{} }}
+
+// getScratch leases an arena with cur sized to rows and counts to nc.
+func getScratch(rows, nc int) *levelScratch {
+	s := scratchPool.Get().(*levelScratch)
+	if cap(s.cur) < rows {
+		s.cur = make([]int32, rows)
+	}
+	if cap(s.counts) < nc {
+		s.counts = make([]int32, nc)
+	}
+	return s
+}
+
+// advance runs the level passes for rows [lo,hi) of the SoA block,
+// updating cur (length hi-lo, pre-seeded with the root id 0) in place to
+// each row's final node id.
+func (lt *LevelTree) advance(cont []float64, cat []int32, nattr, lo int, cur []int32) {
+	var (
+		attrs   = lt.Attr
+		thr     = lt.Threshold
+		subW    = lt.SubsetWords
+		subOff  = lt.SubsetOff
+		kid     = lt.Kid
+		mask    = lt.Mask
+		subsets = lt.Subsets
+	)
+	for pass := lt.Depth() - 1; pass > 0; pass-- {
+		live := int32(0)
+		for i := range cur {
+			n := cur[i]
+			a := int(attrs[n])
+			base := (lo + i) * nattr
+			// step: 0 ⇒ left child, 1 ⇒ right. The conditional assignments
+			// compile to flag-setting moves, not jumps — the only real
+			// branch left is the split-kind test, which tracks the node (a
+			// compile-time property), not the row's data.
+			step := int32(1)
+			if w := subW[n]; w == 0 {
+				if cont[base+a] < thr[n] {
+					step = 0
+				}
+			} else {
+				c := cat[base+a]
+				if wi := c >> 6; c >= 0 && wi < w && subsets[subOff[n]+wi]&(1<<uint(c&63)) != 0 {
+					step = 0
+				}
+			}
+			m := mask[n]
+			live |= m
+			cur[i] = kid[n] + (step & m)
+		}
+		if live == 0 {
+			break
+		}
+	}
+}
+
+// ClassifyRange classifies rows [lo,hi) of the SoA block into out[lo:hi].
+// cont and cat are row-major with stride nattr — exactly the contiguous
+// decode buffers PredictValuesBatch fills — and out must have length ≥ hi.
+// Safe for concurrent use: shards of one batch may run on different
+// workers over disjoint [lo,hi) ranges.
+func (lt *LevelTree) ClassifyRange(cont []float64, cat []int32, nattr, lo, hi int, out []int32) {
+	if hi <= lo {
+		return
+	}
+	scr := getScratch(hi-lo, 0)
+	cur := scr.cur[:hi-lo]
+	for i := range cur {
+		cur[i] = 0
+	}
+	lt.advance(cont, cat, nattr, lo, cur)
+	class := lt.Class
+	for i, n := range cur {
+		out[lo+i] = class[n]
+	}
+	scratchPool.Put(scr)
+}
+
+// ClassifyRange votes rows [lo,hi) of the SoA block through every member
+// and writes the majority class (ties to the lowest code, matching
+// Forest.Vote) into out[lo:hi]. The vote is fused into each member's
+// final level: as a member's passes finish, its leaf classes accumulate
+// straight into the per-row histograms while cur and the row buffers are
+// still hot, then the next member's passes reuse the same scratch.
+func (lf *LevelForest) ClassifyRange(cont []float64, cat []int32, nattr, lo, hi int, out []int32) {
+	if hi <= lo {
+		return
+	}
+	rows := hi - lo
+	nc := lf.NClass
+	scr := getScratch(rows, rows*nc)
+	counts := scr.counts[:rows*nc]
+	clear(counts)
+	cur := scr.cur[:rows]
+	for _, m := range lf.Members {
+		for i := range cur {
+			cur[i] = 0
+		}
+		m.advance(cont, cat, nattr, lo, cur)
+		class := m.Class
+		for i, n := range cur {
+			counts[i*nc+int(class[n])]++
+		}
+	}
+	for i := 0; i < rows; i++ {
+		out[lo+i] = Majority(counts[i*nc : (i+1)*nc])
+	}
+	scratchPool.Put(scr)
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	parclass "repro"
+)
+
+// setCrossover pins the process-wide auto threshold for one test.
+func setCrossover(t *testing.T, rows int) {
+	t.Helper()
+	old := parclass.SetLevelSyncCrossover(rows)
+	t.Cleanup(func() { parclass.SetLevelSyncCrossover(old) })
+}
+
+// levelSyncRows builds a batch of schema-valid rows with varying ages.
+func levelSyncRows(n int) []map[string]string {
+	rows := make([]map[string]string, n)
+	for i := range rows {
+		rows[i] = sampleRow(strconv.Itoa(20 + i%55))
+	}
+	return rows
+}
+
+// TestPredictLevelSyncKernelIdentical is the serving half of the PR's
+// acceptance invariant: the same batch answered with level_sync "on",
+// "off" and "auto" must produce byte-identical response bodies, on both
+// the rows and values_rows forms, through the micro-batcher.
+func TestPredictLevelSyncKernelIdentical(t *testing.T) {
+	setCrossover(t, 1) // "auto" takes the kernel even for this small batch
+	f := trainForest(t, 9)
+	s := New("")
+	if _, err := s.Load("default", f, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableBatching(BatchConfig{MaxRows: 128, Linger: time.Millisecond, QueueDepth: 64}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := newHTTPServer(t, s)
+
+	var info ModelInfo
+	if code := getJSON(t, ts+"/v1/model/default", &info); code != 200 {
+		t.Fatalf("model info status %d", code)
+	}
+	rows := levelSyncRows(64)
+	vrows := make([][]string, len(rows))
+	for i, row := range rows {
+		vrows[i] = make([]string, len(info.Attrs))
+		for a, attr := range info.Attrs {
+			vrows[i][a] = row[attr.Name]
+		}
+	}
+	// elapsed_us is wall time and legitimately varies per request; the
+	// comparison covers every other byte of the body.
+	elapsed := regexp.MustCompile(`"elapsed_us":\d+`)
+	post := func(req predictRequest) string {
+		t.Helper()
+		buf, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := postRawBody(t, ts+"/v1/predict", string(buf))
+		return elapsed.ReplaceAllString(body, `"elapsed_us":0`)
+	}
+	offRows := post(predictRequest{Rows: rows, LevelSync: "off"})
+	if !strings.Contains(offRows, `"predictions"`) {
+		t.Fatalf("walker response carries no predictions: %s", offRows)
+	}
+	offVals := post(predictRequest{ValuesRows: vrows, LevelSync: "off"})
+	for _, mode := range []string{"on", "auto", ""} {
+		if got := post(predictRequest{Rows: rows, LevelSync: mode}); got != offRows {
+			t.Fatalf("rows form: level_sync=%q body differs from off:\n%s\nvs\n%s", mode, got, offRows)
+		}
+		if got := post(predictRequest{ValuesRows: vrows, LevelSync: mode}); got != offVals {
+			t.Fatalf("values_rows form: level_sync=%q body differs from off", mode)
+		}
+	}
+}
+
+// TestPredictLevelSyncBadValue: an unknown level_sync override answers 400
+// and names the field.
+func TestPredictLevelSyncBadValue(t *testing.T) {
+	m := trainModel(t, 1, 1000)
+	_, ts := newTestServer(t, m)
+	buf, err := json.Marshal(predictRequest{Rows: levelSyncRows(2), LevelSync: "diagonal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad level_sync status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "level_sync") {
+		t.Fatalf("error %s does not name level_sync", body)
+	}
+}
+
+// TestModelInfoOOB: a bootstrapped forest exposes its out-of-bag estimate
+// on /v1/model/{name}; a single tree must not grow the field.
+func TestModelInfoOOB(t *testing.T) {
+	f := trainForest(t, 7)
+	s := New("")
+	if _, err := s.Load("default", f, "test"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+	var info ModelInfo
+	if code := getJSON(t, ts+"/v1/model/default", &info); code != 200 {
+		t.Fatalf("model info status %d", code)
+	}
+	if info.OOB == nil {
+		t.Fatal("forest model info carries no oob field")
+	}
+	want, ok := f.OOBError()
+	if !ok {
+		t.Fatal("trained forest has no OOB estimate")
+	}
+	if *info.OOB != want || info.OOBRows != f.OOBRows() {
+		t.Fatalf("info oob %g/%d, forest %g/%d", *info.OOB, info.OOBRows, want, f.OOBRows())
+	}
+	if *info.OOB < 0 || *info.OOB > 1 || info.OOBRows <= 0 {
+		t.Fatalf("implausible OOB estimate %g over %d rows", *info.OOB, info.OOBRows)
+	}
+
+	// Single tree: raw body must not leak the keys.
+	m := trainModel(t, 1, 1000)
+	if _, err := s.Load("tree", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts + "/v1/model/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"oob"`) {
+		t.Fatalf("single-tree model info leaked oob: %s", raw)
+	}
+}

@@ -91,6 +91,24 @@ type Server struct {
 	predictCap atomic.Int64
 	// batch is the predict micro-batcher, nil until EnableBatching.
 	batch atomic.Pointer[batcher]
+	// levelMode is the server-wide batch-kernel selection (a
+	// parclass.LevelSyncMode), applied to every model at Load.
+	levelMode atomic.Int32
+}
+
+// SetLevelSyncMode sets the server-wide batch-kernel selection (see
+// parclass.LevelSyncMode): it applies to every currently loaded model and
+// to models loaded afterwards. Per-request "level_sync" overrides it.
+// Safe to call at any time, including while serving.
+func (s *Server) SetLevelSyncMode(mode parclass.LevelSyncMode) {
+	s.levelMode.Store(int32(mode))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sl := range s.models {
+		if cur := sl.ptr.Load(); cur != nil {
+			cur.model.SetLevelSync(mode)
+		}
+	}
 }
 
 // SetPredictMaxBytes overrides the POST /predict body cap (bytes); n <= 0
@@ -135,6 +153,7 @@ func (s *Server) Load(name string, m parclass.Predictor, source string) (swapped
 	if err := m.Compile(); err != nil {
 		return false, err
 	}
+	m.SetLevelSync(parclass.LevelSyncMode(s.levelMode.Load()))
 	sl := s.slot(name, true)
 	old := sl.ptr.Swap(&loadedModel{model: m, loadedAt: time.Now(), source: source})
 	sl.swaps.Add(1)
@@ -246,7 +265,10 @@ func writeErr(w http.ResponseWriter, rs *routeStats, code int, format string, ar
 // wire) or ValuesRows (batch positional), plus an optional model name.
 // NoBatch opts this one request out of server-side micro-batching: it runs
 // inline instead of joining the coalescing queue (useful for latency-
-// sensitive probes while bulk traffic batches).
+// sensitive probes while bulk traffic batches). LevelSync overrides the
+// batch kernel for this request: "on" forces the level-synchronous kernel,
+// "off" the preorder walker, "auto"/"" inherits the server's setting —
+// purely a performance knob, the predictions are identical either way.
 type predictRequest struct {
 	Model      string              `json:"model,omitempty"`
 	Row        map[string]string   `json:"row,omitempty"`
@@ -254,6 +276,7 @@ type predictRequest struct {
 	Values     []string            `json:"values,omitempty"`
 	ValuesRows [][]string          `json:"values_rows,omitempty"`
 	NoBatch    bool                `json:"no_batch,omitempty"`
+	LevelSync  string              `json:"level_sync,omitempty"`
 }
 
 // predictResponse is the POST /predict reply. Proba and Trees appear only
@@ -315,6 +338,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, rs, http.StatusBadRequest, `need exactly one of "row", "rows", "values" and "values_rows"`)
 		return
 	}
+	lsMode, lsErr := parclass.ParseLevelSyncMode(req.LevelSync)
+	if lsErr != nil {
+		writeErr(w, rs, http.StatusBadRequest, `bad "level_sync" %q (want "auto", "on" or "off")`, req.LevelSync)
+		return
+	}
 	name := req.Model
 	if name == "" {
 		name = s.defaultModel
@@ -333,7 +361,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// queue is bounded; a full queue sheds the request with 429 instead of
 	// queueing goroutines and memory without bound.
 	if b := s.batch.Load(); b != nil && !req.NoBatch && !inlineProba {
-		p := newPending(name, &req)
+		p := newPending(name, lsMode, &req)
 		if !b.submit(p) {
 			s.met.shed.Add(1)
 			w.Header().Set("Retry-After", b.retryAfter())
@@ -408,7 +436,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case len(req.ValuesRows) > 0:
 		// One sharded batch walk, not a row-at-a-time PredictValues loop;
 		// PredictValuesBatch keeps the "row %d:" error attribution.
-		preds, err := cur.model.PredictValuesBatch(req.ValuesRows)
+		preds, err := cur.model.PredictValuesBatchMode(req.ValuesRows, lsMode)
 		if err != nil {
 			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
@@ -416,7 +444,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Predictions = preds
 		resp.Rows = len(preds)
 	default:
-		preds, err := cur.model.PredictBatch(req.Rows)
+		preds, err := cur.model.PredictBatchMode(req.Rows, lsMode)
 		if err != nil {
 			writeErr(w, rs, predictErrCode(err), "%v", err)
 			return
@@ -658,7 +686,13 @@ type ModelInfo struct {
 		MaxLeavesPerLevel int `json:"max_leaves_per_level"`
 	} `json:"stats"`
 	// Trees is the ensemble size when > 1 (forest models).
-	Trees   int        `json:"trees,omitempty"`
+	Trees int `json:"trees,omitempty"`
+	// OOB is a forest's out-of-bag error estimate (fraction of scored
+	// training rows misclassified by the members whose bootstrap left them
+	// out); absent for single trees and forests without an estimate.
+	OOB *float64 `json:"oob,omitempty"`
+	// OOBRows is how many training rows the estimate scored.
+	OOBRows int        `json:"oob_rows,omitempty"`
 	Classes []string   `json:"classes"`
 	Attrs   []attrInfo `json:"attrs"`
 	Rules   []string   `json:"rules,omitempty"`
@@ -684,6 +718,15 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	info.Stats.MaxLeavesPerLevel = st.MaxLeavesPerLevel
 	if nt := cur.model.NumTrees(); nt > 1 {
 		info.Trees = nt
+	}
+	if om, ok := cur.model.(interface {
+		OOBError() (float64, bool)
+		OOBRows() int
+	}); ok {
+		if oob, ok := om.OOBError(); ok {
+			info.OOB = &oob
+			info.OOBRows = om.OOBRows()
+		}
 	}
 	schema := cur.model.Schema()
 	info.Classes = append(info.Classes, schema.Classes...)

@@ -1,0 +1,173 @@
+package parclass
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// setCrossover swaps the process-wide auto threshold for one test and
+// restores it on cleanup.
+func setCrossover(t *testing.T, rows int) {
+	t.Helper()
+	old := SetLevelSyncCrossover(rows)
+	t.Cleanup(func() { SetLevelSyncCrossover(old) })
+}
+
+func TestParseLevelSyncMode(t *testing.T) {
+	cases := map[string]LevelSyncMode{
+		"": LevelSyncAuto, "auto": LevelSyncAuto, "on": LevelSyncOn, "off": LevelSyncOff,
+	}
+	for in, want := range cases {
+		got, err := ParseLevelSyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevelSyncMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevelSyncMode("sideways"); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("bad mode error = %v, want ErrBadOption", err)
+	}
+	for m, s := range map[LevelSyncMode]string{LevelSyncAuto: "auto", LevelSyncOn: "on", LevelSyncOff: "off"} {
+		if m.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestLevelSyncCrossoverAccessors(t *testing.T) {
+	setCrossover(t, 128)
+	if got := LevelSyncCrossover(); got != 128 {
+		t.Fatalf("LevelSyncCrossover() = %d, want 128", got)
+	}
+	if old := SetLevelSyncCrossover(0); old != 128 {
+		t.Fatalf("SetLevelSyncCrossover returned %d, want previous 128", old)
+	}
+	if got := LevelSyncCrossover(); got != 0 {
+		t.Fatalf("crossover after disable = %d, want 0", got)
+	}
+}
+
+// TestModelLevelSyncEquivalence pins the PR's acceptance invariant for a
+// single tree: every kernel mode, per-call and stored, yields byte-identical
+// predictions on both batch forms.
+func TestModelLevelSyncEquivalence(t *testing.T) {
+	setCrossover(t, 1) // auto always takes the kernel, so all three modes differ
+	ds := synthDS(t, 7, 2000)
+	m, err := Train(ds, Options{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 600)
+	rows := datasetRows(ds, 600)
+	wantV, err := m.PredictValuesBatchMode(vrows, LevelSyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR, err := m.PredictBatchMode(rows, LevelSyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []LevelSyncMode{LevelSyncAuto, LevelSyncOn, LevelSyncOff} {
+		gotV, err := m.PredictValuesBatchMode(vrows, mode)
+		if err != nil {
+			t.Fatalf("%v values: %v", mode, err)
+		}
+		gotR, err := m.PredictBatchMode(rows, mode)
+		if err != nil {
+			t.Fatalf("%v rows: %v", mode, err)
+		}
+		for i := range wantV {
+			if gotV[i] != wantV[i] || gotR[i] != wantR[i] {
+				t.Fatalf("mode %v row %d: values %q/%q, rows %q/%q",
+					mode, i, gotV[i], wantV[i], gotR[i], wantR[i])
+			}
+		}
+	}
+	// The stored mode steers the plain batch entry points; an Auto per-call
+	// override inherits it.
+	m.SetLevelSync(LevelSyncOn)
+	if m.LevelSync() != LevelSyncOn {
+		t.Fatalf("LevelSync() = %v after SetLevelSync(On)", m.LevelSync())
+	}
+	got, err := m.PredictValuesBatch(vrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantV {
+		if got[i] != wantV[i] {
+			t.Fatalf("stored-On row %d: %q, want %q", i, got[i], wantV[i])
+		}
+	}
+}
+
+// TestForestLevelSyncEquivalence: same invariant for the fused-vote forest
+// kernel, whose tie-breaking must match Forest.Vote exactly.
+func TestForestLevelSyncEquivalence(t *testing.T) {
+	setCrossover(t, 1)
+	ds := synthDS(t, 7, 2000)
+	f, err := TrainForest(ds, Options{Trees: 15, MaxDepth: 8, ForestSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 500)
+	rows := datasetRows(ds, 500)
+	wantV, err := f.PredictValuesBatchMode(vrows, LevelSyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR, err := f.PredictBatchMode(rows, LevelSyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []LevelSyncMode{LevelSyncAuto, LevelSyncOn} {
+		gotV, err := f.PredictValuesBatchMode(vrows, mode)
+		if err != nil {
+			t.Fatalf("%v values: %v", mode, err)
+		}
+		gotR, err := f.PredictBatchMode(rows, mode)
+		if err != nil {
+			t.Fatalf("%v rows: %v", mode, err)
+		}
+		for i := range wantV {
+			if gotV[i] != wantV[i] || gotR[i] != wantR[i] {
+				t.Fatalf("mode %v row %d: values %q/%q, rows %q/%q",
+					mode, i, gotV[i], wantV[i], gotR[i], wantR[i])
+			}
+		}
+	}
+	// Per-row singles agree with the batch too (Vote vs fused kernel).
+	for i, vals := range vrows[:50] {
+		single, err := f.PredictValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != wantV[i] {
+			t.Fatalf("row %d: single %q, batch %q", i, single, wantV[i])
+		}
+	}
+}
+
+// TestLevelSyncErrorsMatch: a malformed row must fail identically whichever
+// kernel would have run — decode errors surface before any kernel choice.
+func TestLevelSyncErrorsMatch(t *testing.T) {
+	setCrossover(t, 1)
+	ds := synthDS(t, 1, 500)
+	m, err := Train(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrows := datasetValueRows(ds, 8)
+	bad := append([][]string(nil), vrows...)
+	bad[5] = bad[5][:1]
+	_, errOn := m.PredictValuesBatchMode(bad, LevelSyncOn)
+	_, errOff := m.PredictValuesBatchMode(bad, LevelSyncOff)
+	if errOn == nil || errOff == nil {
+		t.Fatalf("short row accepted: on=%v off=%v", errOn, errOff)
+	}
+	if errOn.Error() != errOff.Error() {
+		t.Fatalf("error text differs by kernel:\n  on:  %v\n  off: %v", errOn, errOff)
+	}
+	if !errors.Is(errOn, ErrUnknownAttribute) || !strings.Contains(errOn.Error(), "row 5:") {
+		t.Fatalf("error %v does not name row 5 with ErrUnknownAttribute", errOn)
+	}
+}

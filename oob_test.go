@@ -1,0 +1,51 @@
+package parclass
+
+import "testing"
+
+// TestForestOOBError checks the out-of-bag estimate: it exists for
+// bootstrapped forests, lands in [0,1] near the holdout error, is
+// deterministic across Procs (vote adds commute), and disappears when
+// SampleFrac 1 gives members nothing out-of-bag.
+func TestForestOOBError(t *testing.T) {
+	ds := synthDS(t, 1, 3000)
+	f, err := TrainForest(ds, Options{Trees: 15, MaxDepth: 8, ForestSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob, ok := f.OOBError()
+	if !ok {
+		t.Fatal("bootstrapped forest has no OOB estimate")
+	}
+	if oob < 0 || oob > 1 {
+		t.Fatalf("OOB error %g outside [0,1]", oob)
+	}
+	if f.OOBRows() <= 0 || f.OOBRows() > 3000 {
+		t.Fatalf("OOB scored %d rows of 3000", f.OOBRows())
+	}
+	// F1 is an easy function: the estimate should resemble the training
+	// error's order of magnitude, not coin-flipping.
+	if oob > 0.30 {
+		t.Fatalf("OOB error %g implausibly high for F1", oob)
+	}
+
+	// Same seed, parallel build: the estimate must not depend on member
+	// completion order.
+	par, err := TrainForest(ds, Options{Trees: 15, MaxDepth: 8, ForestSeed: 5, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poob, pok := par.OOBError()
+	if !pok || poob != oob || par.OOBRows() != f.OOBRows() {
+		t.Fatalf("parallel build OOB %g/%d, serial %g/%d", poob, par.OOBRows(), oob, f.OOBRows())
+	}
+
+	// SampleFrac 1 trains every member on the full table: nothing is
+	// out-of-bag, so no estimate may be claimed.
+	full, err := TrainForest(ds, Options{Trees: 5, MaxDepth: 6, SampleFrac: 1, ForestSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := full.OOBError(); ok || full.OOBRows() != 0 {
+		t.Fatal("SampleFrac=1 forest claims an OOB estimate")
+	}
+}
