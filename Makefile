@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test alloc-check race chaos bench benchcmp gobench serve-bench servebench
+.PHONY: verify build vet fmt-check test alloc-check race chaos ingest-soak bench benchcmp gobench serve-bench servebench driftbench
 
-verify: build vet fmt-check test alloc-check race chaos
+verify: build vet fmt-check test alloc-check race chaos ingest-soak
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPhaseFaults|TestStoreCloseErrorSurfaces|TestTempDirRemovedOnStoreCtorFailure|TestHistChaos' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestChaosForest' .
 
+# Online-learning soak: concurrent drifting ingest + batched predict
+# against one server with a fast retrain loop, under the race detector;
+# fails on any 5xx (-count=1 so every run exercises the loop afresh).
+ingest-soak:
+	$(GO) test -race -count=1 -run 'TestIngestPredictSoak' ./internal/serve/
+
 # The build-phase observability sweep: real instrumented builds over the
 # paper's F1/F7 pair plus the forest build/serve rows, written to the
 # checked-in BENCH_build.json.
@@ -67,3 +73,9 @@ serve-bench:
 # overload), appended to BENCH_build.json as "serve_runs".
 servebench:
 	$(GO) run ./cmd/benchjson -serve -out BENCH_build.json
+
+# Online drift recovery: stream an F1→F7 drifting labeled feed into an
+# in-process server with a retrain loop and measure time-to-recover,
+# appended to BENCH_build.json as "drift_runs".
+driftbench:
+	$(GO) run ./cmd/benchjson -drift -out BENCH_build.json

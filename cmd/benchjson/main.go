@@ -32,8 +32,10 @@ import (
 	parclass "repro"
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/ingest"
 	"repro/internal/loadtest"
 	"repro/internal/serve"
+	"repro/internal/synth"
 )
 
 // run is one (dataset, algorithm, procs) build measurement. Forest rows
@@ -66,6 +68,18 @@ type run struct {
 	// PredictRowsPerSec is the fused batch-vote throughput of a forest row
 	// (positional rows through PredictValuesBatch).
 	PredictRowsPerSec float64 `json:"predict_rows_per_sec,omitempty"`
+}
+
+// driftRun is one drift-recovery measurement (`-drift` mode): the loadtest
+// drift driver run against an in-process server with ingest and a periodic
+// retrain loop enabled. The accuracy timeline (Points) stays in the report
+// so recovery-shape regressions show in review diffs, not just the scalar.
+type driftRun struct {
+	Dataset         string  `json:"dataset"` // stream spec, e.g. F1toF7-A9-D12K
+	WindowCap       int     `json:"window_cap"`
+	RetrainInterval float64 `json:"retrain_interval_secs"`
+	RetrainMinRows  int     `json:"retrain_min_rows"`
+	loadtest.DriftResult
 }
 
 // serveRun is one serving-throughput measurement (`-serve` mode): loadgen's
@@ -108,6 +122,10 @@ type report struct {
 	Datasets  []string   `json:"datasets"`
 	Runs      []run      `json:"runs"`
 	ServeRuns []serveRun `json:"serve_runs,omitempty"`
+	// DriftRuns are online-learning drift scenarios (`-drift` mode):
+	// measured time-to-recover after a mid-stream concept flip, with the
+	// retrain-loop counters that produced the recovery.
+	DriftRuns []driftRun `json:"drift_runs,omitempty"`
 	// LevelSyncCrossoverRows is the measured batch size where the
 	// level-synchronous kernel overtakes the preorder walker on this host
 	// (`-serve` A/B sweep); 0 means the walker won at every size tried.
@@ -140,8 +158,14 @@ func main() {
 		serveDur   = flag.Duration("serve-duration", 5*time.Second, "length of each -serve measurement")
 		serveConc  = flag.Int("serve-concurrency", 32, "closed-loop concurrency for -serve")
 		serveRows  = flag.Int("serve-batch", 16, "rows per request for -serve")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
+		driftMode  = flag.Bool("drift", false,
+			"measure online drift recovery: serve an F1 model with ingest + a retrain loop, stream an F1→F7 drifting feed, report time-to-recover")
+		driftRows     = flag.Int("drift-rows", 12000, "total labeled rows streamed in -drift mode")
+		driftAt       = flag.Int("drift-at", 3000, "row offset of the F1→F7 concept flip in -drift mode")
+		driftWindow   = flag.Int("drift-window", 4000, "ingest window capacity in -drift mode")
+		driftInterval = flag.Duration("drift-interval", 200*time.Millisecond, "retrain loop period in -drift mode")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile    = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -157,6 +181,13 @@ func main() {
 
 	if *serveMode {
 		if err := serveBench(*out, *serveSpec, *seed, *serveDur, *serveConc, *serveRows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *driftMode {
+		if err := driftBench(*out, *seed, *driftRows, *driftAt, *driftWindow, *driftInterval); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -730,6 +761,103 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 		return err
 	}
 	log.Printf("wrote %s (%d serve runs)", outPath, len(runs))
+	return nil
+}
+
+// driftBench is `-drift` mode: it trains an F1 model, serves it in-process
+// with ingest and a periodic HIST retrain loop enabled, streams a labeled
+// feed whose concept flips F1→F7 at driftAt, and measures how many rows
+// (and how much wall time) the accuracy-tripwire retrain loop needs to
+// recover to within 0.02 of pre-drift accuracy. The row appends to the
+// report at outPath as "drift_runs", next to the build and serve sweeps.
+func driftBench(outPath string, seed int64, rows, driftAt, windowCap int, interval time.Duration) error {
+	base, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Attrs: 9, Tuples: 4000, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	model, err := parclass.Train(base, parclass.Options{Algorithm: parclass.Hist})
+	if err != nil {
+		return fmt.Errorf("training drift seed model: %w", err)
+	}
+
+	s := serve.New(serve.DefaultModelName)
+	if _, err := s.Load(serve.DefaultModelName, model, "benchjson -drift seed model (F1)"); err != nil {
+		return err
+	}
+	if err := s.EnableBatching(serve.BatchConfig{}); err != nil {
+		return err
+	}
+	if err := s.EnableIngest(serve.IngestConfig{WindowCap: windowCap}); err != nil {
+		return err
+	}
+	minRows := 1000
+	stop := s.StartRetrainLoop(serve.DefaultModelName, interval, ingest.RetrainConfig{MinRows: minRows})
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	scfg := synth.Config{
+		Function: 1, DriftFunction: 7, DriftAt: driftAt,
+		Attrs: 9, Tuples: rows, Seed: seed + 100,
+	}
+	// Pace at interval/4 so several ingest batches land per retrain cycle;
+	// an unpaced run finishes before the first tick.
+	res, err := loadtest.RunDrift(loadtest.DriftConfig{
+		BaseURL: ts.URL,
+		Synth:   scfg,
+		Pace:    interval / 4,
+	})
+	if err != nil {
+		return err
+	}
+	dr := driftRun{
+		Dataset:         scfg.Name(),
+		WindowCap:       windowCap,
+		RetrainInterval: interval.Seconds(),
+		RetrainMinRows:  minRows,
+		DriftResult:     *res,
+	}
+	if dr.RecoveredAtRow >= 0 {
+		log.Printf("drift %s: pre-drift %.4f, crater %.4f, recovered %.1fs / %d rows after flip (%d retrains, %d swaps, %d rejects)",
+			dr.Dataset, dr.PreDriftAcc, dr.MinPostAcc, dr.RecoverySecs,
+			dr.RecoveredAtRow-driftAt, dr.Retrains, dr.Swaps, dr.Rejects)
+	} else {
+		log.Printf("drift %s: pre-drift %.4f, crater %.4f, NOT recovered in %d rows (%d retrains, %d swaps, %d rejects)",
+			dr.Dataset, dr.PreDriftAcc, dr.MinPostAcc, rows-driftAt,
+			dr.Retrains, dr.Swaps, dr.Rejects)
+	}
+
+	var rep report
+	if outPath != "" {
+		if buf, err := os.ReadFile(outPath); err == nil {
+			if err := json.Unmarshal(buf, &rep); err != nil {
+				return fmt.Errorf("%s: %w", outPath, err)
+			}
+		}
+	}
+	if rep.Tool == "" {
+		rep = report{
+			Tool: "benchjson", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), Seed: seed,
+		}
+	}
+	rep.DriftRuns = []driftRun{dr}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		os.Stdout.Write(buf)
+		return nil
+	}
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (1 drift run)", outPath)
 	return nil
 }
 

@@ -18,6 +18,13 @@
 //	loadgen -positional -batch 16                      # the server's fast path
 //	loadgen -arrival 2000 -batch 16 -duration 10s      # open loop, 2000 req/s
 //	loadgen -no-batch                                  # opt out of micro-batching
+//
+// Drift mode streams labeled rows with a mid-stream concept flip into
+// POST /v1/ingest (the server must run with ingest and a retrain loop
+// enabled) while probing served accuracy, and reports the time the
+// server's retrain loop took to recover:
+//
+//	loadgen -drift -drift-rows 12000 -drift-at 3000    # F1→F7 flip at row 3000
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/loadtest"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -48,8 +56,21 @@ func main() {
 			`set "no_batch" on every request so the server skips micro-batch coalescing`)
 		levelSync = flag.String("levelsync", "",
 			`set "level_sync" on every request: on (level-sync kernel), off (preorder walker), auto/"" (server's setting)`)
+		drift = flag.Bool("drift", false,
+			"stream a drifting labeled feed into /v1/ingest and measure the retrain loop's time-to-recover (see -drift-* flags)")
+		driftFn   = flag.Int("drift-fn", 1, "classification function labeling rows before the flip")
+		driftToFn = flag.Int("drift-to", 7, "classification function labeling rows after the flip")
+		driftRows = flag.Int("drift-rows", 12000, "total labeled rows to stream in -drift mode")
+		driftAt   = flag.Int("drift-at", 3000, "row offset of the concept flip")
+		driftPace = flag.Duration("drift-pace", 50*time.Millisecond,
+			"sleep between ingest batches, giving the server's retrain loop wall time to react")
 	)
 	flag.Parse()
+
+	if *drift {
+		runDrift(*baseURL, *model, *driftFn, *driftToFn, *driftRows, *driftAt, *batch, *seed, *driftPace)
+		return
+	}
 
 	cfg := loadtest.Config{
 		BaseURL:     *baseURL,
@@ -93,6 +114,37 @@ func main() {
 		res.Mean().Round(time.Microsecond),
 		res.Pct(50).Round(time.Microsecond), res.Pct(95).Round(time.Microsecond),
 		res.Pct(99).Round(time.Microsecond), res.Max().Round(time.Microsecond))
+}
+
+// runDrift is `-drift` mode: the loadtest drift driver against a live
+// server, reporting the accuracy crater and recovery point.
+func runDrift(baseURL, model string, fn, toFn, rows, at, batch int, seed int64, pace time.Duration) {
+	scfg := synth.Config{
+		Function: fn, DriftFunction: toFn, DriftAt: at,
+		Attrs: 9, Tuples: rows, Seed: seed,
+	}
+	log.Printf("streaming %s into %s model=%s (batch=%d, pace=%v)",
+		scfg.Name(), baseURL, model, batch, pace)
+	res, err := loadtest.RunDrift(loadtest.DriftConfig{
+		BaseURL:   baseURL,
+		Model:     model,
+		Synth:     scfg,
+		BatchRows: batch,
+		Pace:      pace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested: %d rows in %.1fs (%s rows/s)\n",
+		res.RowsIngested, res.Elapsed, fmtRate(res.IngestPerSec))
+	fmt.Printf("accuracy: pre-drift %.4f, post-drift min %.4f\n", res.PreDriftAcc, res.MinPostAcc)
+	if res.RecoveredAtRow >= 0 {
+		fmt.Printf("recovered: %.1fs / %d rows after the flip (at row %d)\n",
+			res.RecoverySecs, res.RecoveredAtRow-at, res.RecoveredAtRow)
+	} else {
+		fmt.Printf("recovered: NOT within %d rows — is the server running with -ingest-window and -retrain-interval?\n", rows-at)
+	}
+	fmt.Printf("server: %d retrains, %d swaps, %d rejects\n", res.Retrains, res.Swaps, res.Rejects)
 }
 
 func fmtRate(v float64) string {

@@ -21,6 +21,14 @@
 // flat-tree walks behind a bounded admission queue (-queue-depth) that
 // sheds overload with 429 + Retry-After; -batch-rows 0 disables it. The
 // predict body cap is -predict-max-bytes (413 past it).
+//
+// Online learning is on by default: POST /v1/ingest accepts labeled rows
+// into a bounded sliding window (-ingest-window rows; 0 disables the
+// route), and a background loop (-retrain-interval; 0 disables) rebuilds a
+// HIST-engine candidate on the window and hot-swaps it in ONLY when it
+// beats the serving model on a held-out window slice by more than
+// -retrain-margin — the accuracy tripwire that keeps a bad batch of labels
+// from degrading serving. Watch it on GET /metrics under "ingest".
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	parclass "repro"
 	"repro/internal/bench"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 )
 
@@ -71,6 +80,16 @@ func main() {
 			"POST /predict body cap in bytes (oversized bodies answer 413)")
 		levelSync = flag.String("levelsync", "auto",
 			"batch predict kernel: auto (level-sync for batches past the measured crossover), on, off")
+		ingestWindow = flag.Int("ingest-window", serve.DefaultIngestWindow,
+			"labeled-row sliding window capacity for POST /ingest (0 disables online ingest)")
+		retrainInterval = flag.Duration("retrain-interval", 5*time.Second,
+			"how often the background loop retrains on the ingest window (0 disables the loop; POST /ingest still fills the window)")
+		retrainMinRows = flag.Int("retrain-min-rows", 0,
+			"skip retrain cycles until the window holds this many rows (0 = default 500)")
+		retrainHoldout = flag.Int("retrain-holdout", 0,
+			"hold out every k-th window row to score candidate vs serving (0 = default 5)")
+		retrainMargin = flag.Float64("retrain-margin", 0,
+			"swap only when candidate holdout accuracy beats serving by more than this")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
 			"time limit for reading a request's headers (0 = none; Slowloris guard)")
 		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
@@ -102,6 +121,24 @@ func main() {
 		}
 		log.Printf("micro-batching: up to %d rows per dispatch, %v linger, queue depth %d",
 			*batchRows, *batchLinger, *queueDepth)
+	}
+
+	var stopRetrain func()
+	if *ingestWindow > 0 {
+		if err := s.EnableIngest(serve.IngestConfig{WindowCap: *ingestWindow}); err != nil {
+			log.Fatal(err)
+		}
+		if *retrainInterval > 0 {
+			stopRetrain = s.StartRetrainLoop(*name, *retrainInterval, ingest.RetrainConfig{
+				MinRows:      *retrainMinRows,
+				HoldoutEvery: *retrainHoldout,
+				Margin:       *retrainMargin,
+			})
+			log.Printf("online learning: %d-row ingest window, retrain every %v (accuracy tripwire margin %g)",
+				*ingestWindow, *retrainInterval, *retrainMargin)
+		} else {
+			log.Printf("online ingest: %d-row window (retrain loop disabled)", *ingestWindow)
+		}
 	}
 
 	fc := forestConfig{
@@ -171,7 +208,11 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// Stop the micro-batcher's dispatcher after the listener drains.
+	// Stop the retrain loop and the micro-batcher's dispatcher after the
+	// listener drains.
+	if stopRetrain != nil {
+		stopRetrain()
+	}
 	s.Close()
 }
 

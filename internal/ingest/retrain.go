@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	parclass "repro"
+	"repro/internal/dataset"
+)
+
+// Outcome is a retrain step's decision, as surfaced in /v1/metrics.
+type Outcome string
+
+const (
+	// OutcomeSkipped means the window held too few rows to train on.
+	OutcomeSkipped Outcome = "skipped"
+	// OutcomeRejected means a candidate was trained but did not beat the
+	// serving model on the holdout slice — the tripwire kept the old model.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeSwapped means the candidate beat the serving model and should
+	// replace it.
+	OutcomeSwapped Outcome = "swapped"
+)
+
+// RetrainConfig parameterizes one retrain-with-tripwire step.
+type RetrainConfig struct {
+	// MinRows skips retraining while the window holds fewer rows
+	// (default 500).
+	MinRows int
+	// HoldoutEvery sends every k-th window row to the holdout slice that
+	// arbitrates the swap (default 5, a 20% holdout). Minimum 2.
+	HoldoutEvery int
+	// Margin is how far candidate accuracy must exceed serving accuracy
+	// on the holdout before a swap fires (default 0: any strict
+	// improvement wins; ties keep the serving model).
+	Margin float64
+	// Options configures the candidate build. Nil selects the HIST engine
+	// with default binning — the streaming-friendly engine whose
+	// quantile-sketch bins summarize the window in one pass.
+	Options *parclass.Options
+}
+
+func (c RetrainConfig) withDefaults() RetrainConfig {
+	if c.MinRows <= 0 {
+		c.MinRows = 500
+	}
+	if c.HoldoutEvery < 2 {
+		c.HoldoutEvery = 5
+	}
+	if c.Options == nil {
+		c.Options = &parclass.Options{Algorithm: parclass.Hist}
+	}
+	return c
+}
+
+// Result reports what one retrain step did.
+type Result struct {
+	Outcome      Outcome
+	WindowRows   int     // rows snapshotted from the window
+	TrainRows    int     // rows the candidate trained on
+	HoldoutRows  int     // rows arbitrating the swap
+	CandidateAcc float64 // candidate accuracy on the holdout
+	ServingAcc   float64 // serving-model accuracy on the same holdout
+	TrainSecs    float64 // candidate build wall time
+	// Candidate is the newly trained model when Outcome is OutcomeSwapped,
+	// nil otherwise. The caller owns loading it into the registry.
+	Candidate parclass.Predictor
+}
+
+// Retrain snapshots the window, trains a candidate on the train slice, and
+// compares candidate vs serving accuracy on the held-out slice. It never
+// swaps anything itself: when the candidate wins, it is returned in
+// Result.Candidate for the caller to load. The serving model must share
+// the window's schema (rows were validated against it on ingest).
+func Retrain(w *Window, serving parclass.Predictor, cfg RetrainConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	trainTbl, holdTbl := w.Snapshot(cfg.HoldoutEvery)
+	res := Result{
+		Outcome:     OutcomeSkipped,
+		WindowRows:  trainTbl.NumTuples() + holdTbl.NumTuples(),
+		TrainRows:   trainTbl.NumTuples(),
+		HoldoutRows: holdTbl.NumTuples(),
+	}
+	if res.WindowRows < cfg.MinRows || res.HoldoutRows == 0 {
+		return res, nil
+	}
+	start := time.Now()
+	cand, err := trainCandidate(trainTbl, *cfg.Options)
+	if err != nil {
+		return res, fmt.Errorf("ingest: retrain: %w", err)
+	}
+	res.TrainSecs = time.Since(start).Seconds()
+	hold := parclass.DatasetFromTable(holdTbl)
+	res.CandidateAcc = cand.Accuracy(hold)
+	res.ServingAcc = serving.Accuracy(hold)
+	if res.CandidateAcc > res.ServingAcc+cfg.Margin {
+		res.Outcome = OutcomeSwapped
+		res.Candidate = cand
+	} else {
+		res.Outcome = OutcomeRejected
+	}
+	return res, nil
+}
+
+// trainCandidate builds a single tree or a forest per opt.Trees.
+func trainCandidate(tbl *dataset.Table, opt parclass.Options) (parclass.Predictor, error) {
+	ds := parclass.DatasetFromTable(tbl)
+	if opt.Trees > 1 {
+		return parclass.TrainForest(ds, opt)
+	}
+	return parclass.Train(ds, opt)
+}

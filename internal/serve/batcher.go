@@ -63,6 +63,13 @@ func (c BatchConfig) withDefaults() BatchConfig {
 // predictOutcome is what the dispatcher hands back to a waiting request.
 type predictOutcome struct {
 	preds []string
+	// trees is the ensemble size of the model that actually served the
+	// batch (the dispatch-time version, which may be newer than the one
+	// current when the request was admitted). The response's "trees" field
+	// must come from here, not from a request-time snapshot: reading model
+	// metadata from one version while the predictions came from another is
+	// exactly the torn view a hot swap must never produce.
+	trees int
 	code  int    // HTTP status; http.StatusOK on success
 	err   string // error body when code != http.StatusOK
 }
@@ -306,10 +313,11 @@ func (b *batcher) execute(k groupKey, group []*pendingPredict) {
 	}
 	sl.predictions.Add(int64(total))
 	b.s.met.predictions.Add(int64(total))
+	nt := cur.model.NumTrees()
 	off := 0
 	for _, p := range group {
 		n := p.nrows()
-		p.done <- predictOutcome{preds: preds[off : off+n], code: http.StatusOK}
+		p.done <- predictOutcome{preds: preds[off : off+n], trees: nt, code: http.StatusOK}
 		off += n
 	}
 }
@@ -344,5 +352,5 @@ func (b *batcher) executeOne(p *pendingPredict, m parclass.Predictor) {
 		sl.predictions.Add(int64(len(preds)))
 	}
 	b.s.met.predictions.Add(int64(len(preds)))
-	p.done <- predictOutcome{preds: preds, code: http.StatusOK}
+	p.done <- predictOutcome{preds: preds, trees: m.NumTrees(), code: http.StatusOK}
 }

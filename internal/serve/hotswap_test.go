@@ -1,0 +1,242 @@
+package serve
+
+// Hot-swap consistency tests: every field of a response must come from ONE
+// atomic model snapshot, even while background retrains swap the serving
+// model (single tree ↔ forest) under live traffic.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestModelInfoAtomicUnderSwap hammers GET /v1/model/{name} while another
+// goroutine hot-swaps the model between a single tree and a 5-tree forest.
+// Every response must be internally consistent: a forest answer carries
+// trees=5 with the forest's node stats (and its OOB estimate when one
+// exists), a tree answer carries no trees/oob fields and the tree's node
+// stats. A mix — old tree count with new stats — is a torn view. Run under
+// -race (make race / make ingest-soak cover this file).
+func TestModelInfoAtomicUnderSwap(t *testing.T) {
+	tree := trainModel(t, 1, 2000)
+	forest := trainForest(t, 5)
+	treeNodes := tree.Stats().Nodes
+	forestNodes := forest.Stats().Nodes
+	if treeNodes == forestNodes {
+		t.Fatalf("test needs distinguishable models; both have %d nodes", treeNodes)
+	}
+
+	s, ts := newTestServer(t, tree)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			if i%2 == 0 {
+				s.Load("default", forest, "swap-forest")
+			} else {
+				s.Load("default", tree, "swap-tree")
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/model/default")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var info ModelInfo
+				err = json.NewDecoder(resp.Body).Decode(&info)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch info.Trees {
+				case 5:
+					if info.Stats.Nodes != forestNodes {
+						t.Errorf("torn view: trees=5 with nodes=%d, forest has %d",
+							info.Stats.Nodes, forestNodes)
+						return
+					}
+				case 0:
+					if info.Stats.Nodes != treeNodes {
+						t.Errorf("torn view: single-tree info with nodes=%d, tree has %d",
+							info.Stats.Nodes, treeNodes)
+						return
+					}
+					if info.OOB != nil {
+						t.Error("torn view: single-tree info carries a forest OOB estimate")
+						return
+					}
+				default:
+					t.Errorf("impossible trees=%d", info.Trees)
+					return
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+}
+
+// TestBatchedPredictTreesFromDispatchModel is the regression test for the
+// batched predict path's torn view: the response's "trees" field was read
+// from the model version current when the request was ADMITTED, while the
+// predictions came from the version current at DISPATCH. With the
+// dispatcher parked across a tree→forest hot swap, the old code answered
+// forest predictions labeled as a single-tree response (no trees field).
+func TestBatchedPredictTreesFromDispatchModel(t *testing.T) {
+	tree := trainModel(t, 1, 2000)
+	forest := trainForest(t, 5)
+	s, ts := newTestServer(t, tree)
+	gateEntered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	b := enableBatching(t, s, BatchConfig{MaxRows: 4, Linger: time.Millisecond, QueueDepth: 8})
+	var once sync.Once
+	b.holdExec = func() { once.Do(func() { gateEntered <- struct{}{} }); <-gate }
+
+	// values_rows with 2 rows: multi-row positional → takes the batching
+	// path while the single tree serves.
+	body, _ := json.Marshal(predictRequest{ValuesRows: [][]string{
+		sampleValues(tree, "25"), sampleValues(tree, "50"),
+	}})
+	type result struct {
+		resp predictResponse
+		code int
+		err  error
+	}
+	results := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var pr predictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			results <- result{err: err}
+			return
+		}
+		results <- result{resp: pr, code: resp.StatusCode}
+	}()
+
+	// The dispatcher has collected the request and parked at the flush
+	// gate; swap in the forest, then release. The batch now executes
+	// against the forest.
+	<-gateEntered
+	if _, err := s.Load("default", forest, "mid-queue swap"); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+
+	r := <-results
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.code != http.StatusOK || len(r.resp.Predictions) != 2 {
+		t.Fatalf("swap-raced batch: code %d resp %+v", r.code, r.resp)
+	}
+	if r.resp.Trees != forest.NumTrees() {
+		t.Fatalf("trees=%d but the forest (%d trees) served the batch: "+
+			"response metadata torn from the admission-time model",
+			r.resp.Trees, forest.NumTrees())
+	}
+}
+
+// TestCoalescedFallbackRowIndexPerRequest pins the micro-batcher's
+// fallback attribution: when two requests coalesce into one dispatch and
+// one carries a malformed row, the error must name the row's index WITHIN
+// ITS OWN REQUEST (here "row 1:"), never its offset in the coalesced group
+// (global row 3) — and the good request must still succeed.
+func TestCoalescedFallbackRowIndexPerRequest(t *testing.T) {
+	m := trainModel(t, 1, 2000)
+	s, ts := newTestServer(t, m)
+	gateEntered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	b := enableBatching(t, s, BatchConfig{MaxRows: 64, Linger: 50 * time.Millisecond, QueueDepth: 8})
+	var once sync.Once
+	b.holdExec = func() { once.Do(func() { gateEntered <- struct{}{} }); <-gate }
+
+	// Park the dispatcher with a sacrificial request so A and B are both
+	// queued before any flush — they are then guaranteed to coalesce.
+	sacBody, _ := json.Marshal(predictRequest{ValuesRows: [][]string{sampleValues(m, "25")}})
+	goodBody, _ := json.Marshal(predictRequest{ValuesRows: [][]string{
+		sampleValues(m, "25"), sampleValues(m, "50"),
+	}})
+	badRows := [][]string{sampleValues(m, "70"), sampleValues(m, "30")}
+	schema := m.Tree().Schema
+	for a := range schema.Attrs {
+		if schema.Attrs[a].Name == "car" {
+			badRows[1][a] = "spaceship" // request B's row 1 (global row 3) is bad
+		}
+	}
+	badBody, _ := json.Marshal(predictRequest{ValuesRows: badRows})
+
+	type result struct {
+		code int
+		body map[string]any
+		err  error
+	}
+	post := func(body []byte, ch chan result) {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			ch <- result{err: err}
+			return
+		}
+		ch <- result{code: resp.StatusCode, body: doc}
+	}
+	sacCh, goodCh, badCh := make(chan result, 1), make(chan result, 1), make(chan result, 1)
+	go post(sacBody, sacCh)
+	<-gateEntered // dispatcher parked mid-flush of the sacrificial request
+	go post(goodBody, goodCh)
+	go post(badBody, badCh)
+	waitFor(t, func() bool { return len(b.ch) == 2 })
+	close(gate)
+
+	for _, ch := range []chan result{sacCh, goodCh} {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("good request status %d body %v", r.code, r.body)
+		}
+	}
+	r := <-badCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad request status %d, want 422", r.code)
+	}
+	msg, _ := r.body["error"].(string)
+	if !strings.Contains(msg, "row 1:") {
+		t.Fatalf("fallback error %q does not name row 1 (request-relative index)", msg)
+	}
+	for _, leak := range []string{"row 2:", "row 3:"} {
+		if strings.Contains(msg, leak) {
+			t.Fatalf("fallback error %q leaks the coalesced-group offset (%s)", msg, leak)
+		}
+	}
+}

@@ -78,11 +78,11 @@ type routeStats struct {
 
 // metrics aggregates the server's counters.
 type metrics struct {
-	start                                    time.Time
-	predict, swap, info, list, health, stats routeStats
-	latencyUS                                *histogram
-	batchRows                                *histogram
-	predictions                              atomic.Int64 // rows classified, all models
+	start                                            time.Time
+	predict, ingest, swap, info, list, health, stats routeStats
+	latencyUS                                        *histogram
+	batchRows                                        *histogram
+	predictions                                      atomic.Int64 // rows classified, all models
 
 	// Micro-batcher counters: requests shed by admission control (429),
 	// coalesced dispatches, and the rows / requests folded into each.

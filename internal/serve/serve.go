@@ -11,6 +11,7 @@
 // contract; the unversioned paths are aliases kept for old clients):
 //
 //	POST /v1/predict          classify one row or a batch of rows
+//	POST /v1/ingest           append labeled rows to the retrain window
 //	GET  /v1/healthz          liveness + model count
 //	GET  /v1/metrics          request counts, latency/batch histograms,
 //	                          live build-phase gauges
@@ -91,6 +92,9 @@ type Server struct {
 	predictCap atomic.Int64
 	// batch is the predict micro-batcher, nil until EnableBatching.
 	batch atomic.Pointer[batcher]
+	// ing is the online-learning subsystem (labeled-row windows + retrain
+	// counters), nil until EnableIngest.
+	ing atomic.Pointer[ingestState]
 	// levelMode is the server-wide batch-kernel selection (a
 	// parclass.LevelSyncMode), applied to every model at Load.
 	levelMode atomic.Int32
@@ -209,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, p := range []string{"", "/v1"} {
 		route(mux, "POST", p+"/predict", s.handlePredict)
+		route(mux, "POST", p+"/ingest", s.handleIngest)
 		route(mux, "GET", p+"/healthz", s.handleHealthz)
 		route(mux, "GET", p+"/metrics", s.handleMetrics)
 		route(mux, "GET", p+"/models", s.handleList)
@@ -375,10 +380,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			resp := predictResponse{Model: name, Rows: p.nrows()}
-			if cur != nil {
-				if nt := cur.model.NumTrees(); nt > 1 {
-					resp.Trees = nt
-				}
+			// Trees comes from the outcome — the model that actually served
+			// the batch at dispatch time — not from the version current when
+			// the request was admitted, so a hot swap mid-queue cannot
+			// produce predictions from one model labeled with another's
+			// ensemble size.
+			if out.trees > 1 {
+				resp.Trees = out.trees
 			}
 			if p.single {
 				resp.Prediction = out.preds[0]
@@ -520,6 +528,10 @@ type metricsSnapshot struct {
 	// live queue-depth gauge, shed/dispatch counters and coalescing
 	// histograms.
 	Batching *batchingSnapshot `json:"batching,omitempty"`
+	// Ingest is present when online learning is enabled: window sizes,
+	// ingested rows/s, retrain cycle counters and the last swap/reject
+	// decision with its holdout accuracies.
+	Ingest *ingestSnapshot `json:"ingest,omitempty"`
 }
 
 // batchingSnapshot is the /metrics micro-batcher section.
@@ -592,6 +604,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
 		Requests: map[string]routeSnapshot{
 			"predict":    s.met.predict.snapshot(),
+			"ingest":     s.met.ingest.snapshot(),
 			"model_swap": s.met.swap.snapshot(),
 			"model_info": s.met.info.snapshot(),
 			"models":     s.met.list.snapshot(),
@@ -605,6 +618,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if bm := s.buildMon.Load(); bm != nil {
 		snap.Build = buildStatusFrom(bm)
+	}
+	if st := s.ing.Load(); st != nil {
+		snap.Ingest = st.snapshot()
 	}
 	if b := s.batch.Load(); b != nil {
 		snap.Batching = &batchingSnapshot{

@@ -45,15 +45,29 @@ func NewStreamer(c Config) (*Streamer, error) {
 		schema: schema,
 		// Separate streams keep the drawn tuples identical across runs
 		// that differ only in perturbation or label-noise settings
-		// (mirrors Generate).
+		// (mirrors Generate). The main stream is seeded with Seed directly
+		// so unperturbed datasets match historical output; the side streams
+		// take splitmix64-derived sub-seeds (like forest.go's memberSeed)
+		// rather than XOR'd constants, which collide across seeds (Seed=0's
+		// perturbation stream equaled Seed=0x5DEECE66D's main stream).
 		rng:        rand.New(rand.NewSource(c.Seed)),
-		perturbRng: rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D)),
-		noiseRng:   rand.New(rand.NewSource(c.Seed ^ 0x2545F4914F6CDD1D)),
+		perturbRng: rand.New(rand.NewSource(subSeed(c.Seed, 1))),
+		noiseRng:   rand.New(rand.NewSource(subSeed(c.Seed, 2))),
 		tu: dataset.Tuple{
 			Cont: make([]float64, len(schema.Attrs)),
 			Cat:  make([]int32, len(schema.Attrs)),
 		},
 	}, nil
+}
+
+// subSeed derives the seed for side stream i from the user's seed with a
+// splitmix64 round, so distinct (seed, stream) pairs land in statistically
+// independent sequences.
+func subSeed(seed int64, stream int) int64 {
+	z := uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Schema returns the stream's dataset schema.
@@ -69,10 +83,15 @@ func (s *Streamer) Next() (dataset.Tuple, bool) {
 	if s.next >= s.cfg.Tuples {
 		return dataset.Tuple{}, false
 	}
+	row := s.next
 	s.next++
 	c, k := s.cfg, s.k
 	v := drawTuple(s.rng)
-	code := classifyK(c.Function, v, k)
+	fn := c.Function
+	if c.DriftFunction != 0 && row >= c.DriftAt {
+		fn = c.DriftFunction
+	}
+	code := classifyK(fn, v, k)
 	if c.Perturbation > 0 {
 		perturb(s.perturbRng, &v, c.Perturbation)
 	}

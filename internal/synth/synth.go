@@ -60,15 +60,29 @@ type Config struct {
 	// age bands: <40, 40–60, ≥60); functions 7–10 support any k ≥ 2 by
 	// banding their disposable-income score into equal-width ranges.
 	Classes int
+	// DriftFunction, when non-zero, is the concept-drift scenario: tuples
+	// at row offsets >= DriftAt are labeled with this function instead of
+	// Function. The attribute draws are unchanged — only the labeling
+	// concept flips — so a model trained before the drift point sees the
+	// same input distribution but a different ground truth after it.
+	DriftFunction int
+	// DriftAt is the zero-based row offset at which DriftFunction takes
+	// over. Ignored when DriftFunction is zero.
+	DriftAt int
 }
 
-// Name returns the paper-style dataset name, e.g. "F7-A32-D250K".
+// Name returns the paper-style dataset name, e.g. "F7-A32-D250K", or
+// "F1toF7-A9-D10K" for a drift scenario.
 func (c Config) Name() string {
+	fn := fmt.Sprintf("F%d", c.Function)
+	if c.DriftFunction != 0 {
+		fn = fmt.Sprintf("F%dtoF%d", c.Function, c.DriftFunction)
+	}
 	d := c.Tuples
 	if d%1000 == 0 {
-		return fmt.Sprintf("F%d-A%d-D%dK", c.Function, c.Attrs, d/1000)
+		return fmt.Sprintf("%s-A%d-D%dK", fn, c.Attrs, d/1000)
 	}
-	return fmt.Sprintf("F%d-A%d-D%d", c.Function, c.Attrs, d)
+	return fmt.Sprintf("%s-A%d-D%d", fn, c.Attrs, d)
 }
 
 func (c Config) validate() error {
@@ -90,13 +104,33 @@ func (c Config) validate() error {
 	if c.LabelNoise < 0 || c.LabelNoise > 1 {
 		return fmt.Errorf("synth: label noise must be in [0,1], got %g", c.LabelNoise)
 	}
-	if c.Classes != 0 && c.Classes != 2 {
-		switch {
-		case c.Function == 1 && c.Classes == 3:
-		case c.Function >= 7 && c.Function <= 10 && c.Classes >= 2 && c.Classes <= 26:
-		default:
-			return fmt.Errorf("synth: function %d does not support %d classes", c.Function, c.Classes)
+	if err := classesOK(c.Function, c.Classes); err != nil {
+		return err
+	}
+	if c.DriftFunction != 0 {
+		if c.DriftFunction < 1 || c.DriftFunction > 10 {
+			return fmt.Errorf("synth: drift function must be 1..10, got %d", c.DriftFunction)
 		}
+		if c.DriftAt < 0 {
+			return fmt.Errorf("synth: negative drift offset %d", c.DriftAt)
+		}
+		if err := classesOK(c.DriftFunction, c.Classes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classesOK checks that function fn supports a k-way labeling.
+func classesOK(fn, k int) error {
+	if k == 0 || k == 2 {
+		return nil
+	}
+	switch {
+	case fn == 1 && k == 3:
+	case fn >= 7 && fn <= 10 && k >= 2 && k <= 26:
+	default:
+		return fmt.Errorf("synth: function %d does not support %d classes", fn, k)
 	}
 	return nil
 }

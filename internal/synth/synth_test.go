@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -277,5 +278,134 @@ func TestStreamerMatchesGenerate(t *testing.T) {
 	}
 	if s.Remaining() != 0 {
 		t.Fatalf("Remaining() = %d after exhaustion", s.Remaining())
+	}
+}
+
+// TestSubSeedNoStreamCollision is the regression test for the hand-picked
+// XOR sub-seed constants: under `Seed ^ 0x5DEECE66D` derivation, Seed=0's
+// perturbation stream was Seed=0x5DEECE66D's main stream (and vice versa),
+// so those two datasets shared perturbation jitter with each other's
+// attribute draws. splitmix64 derivation must keep every (seed, stream)
+// pair distinct.
+func TestSubSeedNoStreamCollision(t *testing.T) {
+	collides := func(a, b *rand.Rand) bool {
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	mk := func(seed int64) *Streamer {
+		s, err := NewStreamer(Config{Function: 1, Tuples: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// The historical collisions: each side stream of seed 0 equaled the
+	// main stream of the seed matching its old XOR constant.
+	if collides(mk(0).perturbRng, mk(0x5DEECE66D).rng) {
+		t.Fatal("seed 0 perturbation stream collides with seed 0x5DEECE66D main stream")
+	}
+	if collides(mk(0).noiseRng, mk(0x2545F4914F6CDD1D).rng) {
+		t.Fatal("seed 0 noise stream collides with seed 0x2545F4914F6CDD1D main stream")
+	}
+	// And within one seed the three streams must be pairwise distinct.
+	for _, seed := range []int64{0, 1, 42, -7} {
+		a, b, c := mk(seed), mk(seed), mk(seed)
+		if collides(a.rng, b.perturbRng) || collides(a.perturbRng, c.noiseRng) || collides(b.rng, c.noiseRng) {
+			t.Fatalf("seed %d: sub-streams collide", seed)
+		}
+	}
+}
+
+// TestMainStreamUnchanged pins that the splitmix64 change left the main
+// attribute stream seeded with Seed directly: unperturbed, noise-free
+// datasets are byte-identical to historical output (first F1/seed-1 row).
+func TestMainStreamUnchanged(t *testing.T) {
+	s, err := NewStreamer(Config{Function: 1, Tuples: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, ok := s.Next()
+	if !ok {
+		t.Fatal("empty stream")
+	}
+	// rand.New(rand.NewSource(1)) draws pinned by math/rand's generator.
+	want := 20000 + rand.New(rand.NewSource(1)).Float64()*(150000-20000)
+	if tu.Cont[AttrSalary] != want {
+		t.Fatalf("salary %v, want %v: main stream no longer seeded with Seed", tu.Cont[AttrSalary], want)
+	}
+}
+
+// TestDriftFlipsLabels checks the concept-drift scenario: same attribute
+// draws as the no-drift stream, pre-drift labels from Function, post-drift
+// labels from DriftFunction (matching a pure-DriftFunction stream row for
+// row, since labeling consumes no RNG draws).
+func TestDriftFlipsLabels(t *testing.T) {
+	const at = 500
+	base := Config{Function: 1, Tuples: 1500, Seed: 11}
+	drifted := base
+	drifted.DriftFunction = 7
+	drifted.DriftAt = at
+	pure7 := base
+	pure7.Function = 7
+
+	tb, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := Generate(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7, err := Generate(pure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < base.Tuples; i++ {
+		if tb.ContValue(AttrSalary, i) != td.ContValue(AttrSalary, i) {
+			t.Fatalf("row %d: drift changed attribute draws", i)
+		}
+		if i < at {
+			if td.Class(i) != tb.Class(i) {
+				t.Fatalf("row %d: pre-drift label differs from Function %d", i, base.Function)
+			}
+		} else {
+			if td.Class(i) != t7.Class(i) {
+				t.Fatalf("row %d: post-drift label differs from DriftFunction", i)
+			}
+			if td.Class(i) != tb.Class(i) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("drift never changed a label; F1 and F7 should disagree")
+	}
+}
+
+// TestDriftValidation covers the drift config checks, including that the
+// Classes setting must be valid for both functions.
+func TestDriftValidation(t *testing.T) {
+	bad := []Config{
+		{Function: 1, Tuples: 1, DriftFunction: 11},
+		{Function: 1, Tuples: 1, DriftFunction: -1},
+		{Function: 1, Tuples: 1, DriftFunction: 7, DriftAt: -1},
+		{Function: 1, Tuples: 1, Classes: 3, DriftFunction: 2}, // F2 has no 3-class form
+		{Function: 7, Tuples: 1, Classes: 5, DriftFunction: 1}, // F1 has no 5-class form
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("drift config %d should fail", i)
+		}
+	}
+	if _, err := Generate(Config{Function: 1, Tuples: 10, DriftFunction: 7, DriftAt: 5}); err != nil {
+		t.Errorf("valid drift config rejected: %v", err)
+	}
+	if got := (Config{Function: 1, Attrs: 9, Tuples: 10000, DriftFunction: 7}).Name(); got != "F1toF7-A9-D10K" {
+		t.Errorf("drift Name = %q", got)
 	}
 }

@@ -344,6 +344,11 @@ func (d *Dataset) SplitHoldout(testFrac float64) (train, test *Dataset) {
 // benchmarks). It is not part of the stable API.
 func (d *Dataset) Table() *dataset.Table { return d.tbl }
 
+// DatasetFromTable wraps a columnar table as a Dataset, for in-module
+// tooling that assembles tables directly (the ingest window's retrain
+// snapshots). It is not part of the stable API.
+func DatasetFromTable(tbl *dataset.Table) *Dataset { return &Dataset{tbl: tbl} }
+
 // Timings is the phase breakdown of a build, mirroring the paper's
 // setup/sort/build decomposition.
 type Timings struct {
