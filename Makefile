@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test alloc-check race chaos ingest-soak bench benchcmp gobench serve-bench servebench driftbench
+.PHONY: verify build vet fmt-check test alloc-check race chaos ingest-soak cluster-soak bench benchcmp gobench serve-bench servebench driftbench clusterbench
 
-verify: build vet fmt-check test alloc-check race chaos ingest-soak
+verify: build vet fmt-check test alloc-check race chaos ingest-soak cluster-soak
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ alloc-check:
 	$(GO) test -count=1 -run 'TestLevelKernelAllocationBudget' ./internal/flat/
 
 race:
-	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/... ./internal/hist/...
+	$(GO) test -race . ./internal/serve/... ./internal/flat/... ./internal/core/... ./internal/trace/... ./internal/hist/... ./internal/cluster/... ./internal/loadtest/...
 
 # The chaos matrix: every scheme x every storage backend x deterministic
 # fault plans (transient/permanent/short-write/panic/latency), under the
@@ -48,6 +48,14 @@ chaos:
 # fails on any 5xx (-count=1 so every run exercises the loop afresh).
 ingest-soak:
 	$(GO) test -race -count=1 -run 'TestIngestPredictSoak' ./internal/serve/
+
+# Cluster soak: a 3-node in-process fleet on real TCP listeners under
+# open-loop overload, one node hard-killed and restarted on the same port
+# mid-run with a model published during the outage, under the race
+# detector; fails on any 5xx or if anti-entropy does not converge the
+# restarted node (-count=1 so every run replays the crash afresh).
+cluster-soak:
+	$(GO) test -race -count=1 -run 'TestClusterSoakKillRestart' ./internal/cluster/
 
 # The build-phase observability sweep: real instrumented builds over the
 # paper's F1/F7 pair plus the forest build/serve rows, written to the
@@ -73,6 +81,15 @@ serve-bench:
 # overload), appended to BENCH_build.json as "serve_runs".
 servebench:
 	$(GO) run ./cmd/benchjson -serve -out BENCH_build.json
+
+# Multi-process cluster harness (no docker): build the real parclassd
+# binary, boot a 3-node fleet, kill and restart a node under 2x open-loop
+# overload with a model published during the outage, and append the
+# kill-and-restart row to BENCH_build.json as "cluster_runs". Fails on
+# any 5xx or if the restarted node does not converge by anti-entropy.
+clusterbench:
+	$(GO) build -o bin/parclassd ./cmd/parclassd
+	$(GO) run ./cmd/benchjson -cluster -parclassd bin/parclassd -out BENCH_build.json
 
 # Online drift recovery: stream an F1→F7 drifting labeled feed into an
 # in-process server with a retrain loop and measure time-to-recover,

@@ -1,0 +1,318 @@
+package main
+
+// `-cluster` mode: the multi-process clusterbench harness. It boots a
+// 3-node parclassd fleet from a prebuilt binary (real processes, real
+// ports, no docker), measures the fleet's closed-loop capacity, then
+// drives it open-loop at twice that rate while hard-killing one node
+// (SIGKILL), publishing a model to a survivor during the outage, and
+// restarting the dead node on its old port. Acceptance:
+//
+//   - zero 5xx on admitted requests for the whole scenario (shedding
+//     with 429 is the designed overload answer, transport failures to
+//     the dead node are failovers, not errors);
+//   - the restarted node converges to the missed publish by pull-based
+//     anti-entropy alone, and the convergence time is measured.
+//
+// The row appends to the report at -out as "cluster_runs" next to the
+// build/serve/drift sweeps. `make clusterbench` builds bin/parclassd and
+// runs this.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	parclass "repro"
+	"repro/internal/cluster"
+	"repro/internal/loadtest"
+)
+
+// clusterRun is one kill-and-restart fleet measurement (`-cluster` mode).
+type clusterRun struct {
+	Nodes   int    `json:"nodes"`
+	Dataset string `json:"dataset"` // the boot model's synthetic spec
+	// BaselineReqPerSec is the fleet's measured closed-loop capacity; the
+	// overload phase runs open-loop at OverloadFactor times it.
+	BaselineReqPerSec float64 `json:"baseline_req_per_sec"`
+	ArrivalRate       float64 `json:"arrival_rate"`
+	DurationSecs      float64 `json:"duration_secs"`
+	KilledNode        string  `json:"killed_node"`
+	// ConvergeSecs is restart→converged: how long anti-entropy took to
+	// pull the publish the node missed while dead.
+	ConvergeSecs float64               `json:"converge_secs"`
+	OK           int64                 `json:"ok"`
+	Shed         int64                 `json:"shed"`
+	Errors       int64                 `json:"errors"`
+	FiveXX       int64                 `json:"fivexx"`
+	Retries      int64                 `json:"retries"`
+	ShedRate     float64               `json:"shed_rate,omitempty"`
+	RowsPerSec   float64               `json:"rows_per_sec"`
+	PerNode      []loadtest.NodeResult `json:"per_node"`
+}
+
+// clusterNode is one fleet member's process handle.
+type clusterNode struct {
+	id   string
+	addr string // host:port, stable across restarts
+	args []string
+	cmd  *exec.Cmd
+}
+
+func (cn *clusterNode) url() string { return "http://" + cn.addr }
+
+// start launches the parclassd process and waits until /v1/healthz
+// answers 200 (the boot model has trained and the listener is up).
+func (cn *clusterNode) start(bin string) error {
+	cmd := exec.Command(bin, cn.args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("node %s: %w", cn.id, err)
+	}
+	cn.cmd = cmd
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(cn.url() + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cn.kill()
+	return fmt.Errorf("node %s: not healthy within 60s", cn.id)
+}
+
+// kill SIGKILLs the process — no graceful shutdown, the crash the
+// harness exists to survive — and reaps it.
+func (cn *clusterNode) kill() {
+	if cn.cmd == nil || cn.cmd.Process == nil {
+		return
+	}
+	cn.cmd.Process.Kill()
+	cn.cmd.Wait()
+	cn.cmd = nil
+}
+
+// clusterStatus fetches a node's /v1/cluster document.
+func clusterStatus(baseURL string) (cluster.Status, error) {
+	var st cluster.Status
+	resp, err := http.Get(baseURL + "/v1/cluster")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("GET /v1/cluster: %d", resp.StatusCode)
+	}
+	return st, decodeBody(resp.Body, &st)
+}
+
+// clusterBench orchestrates the scenario and appends the cluster_runs row.
+func clusterBench(outPath, bin string, seed int64, arrival float64, dur time.Duration) error {
+	if _, err := os.Stat(bin); err != nil {
+		return fmt.Errorf("-parclassd: %w (run `make clusterbench`, which builds it first)", err)
+	}
+	const bootSpec = "F1-A9-D10K"
+
+	// Reserve three ports; peers reference them across restarts, and the
+	// restarted node must reclaim its own.
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	nodes := make([]*clusterNode, 3)
+	for i := range nodes {
+		cn := &clusterNode{id: fmt.Sprintf("%c", 'a'+i), addr: addrs[i]}
+		cn.args = []string{
+			"-addr", cn.addr, "-node-id", cn.id, "-self-url", cn.url(),
+			"-synthetic", bootSpec, "-seed", fmt.Sprint(seed),
+			"-retrain-interval", "0", "-anti-entropy", "250ms",
+		}
+		peers := ""
+		for j, a := range addrs {
+			if j != i {
+				if peers != "" {
+					peers += ","
+				}
+				peers += "http://" + a
+			}
+		}
+		cn.args = append(cn.args, "-peers", peers)
+		nodes[i] = cn
+	}
+	for _, cn := range nodes {
+		if err := cn.start(bin); err != nil {
+			return err
+		}
+		defer cn.kill()
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	urls := []string{a.url(), b.url(), c.url()}
+	log.Printf("cluster: 3 nodes up on %v (boot model %s)", addrs, bootSpec)
+
+	// Calibrate: closed-loop fleet capacity, then overload at 2x.
+	cal, err := loadtest.Run(loadtest.Config{
+		BaseURLs: urls, Positional: true, Batch: 4,
+		Concurrency: 8, Duration: 1500 * time.Millisecond, Seed: seed,
+	})
+	if err != nil {
+		return fmt.Errorf("calibration: %w", err)
+	}
+	baseline := cal.ReqPerSec()
+	if arrival <= 0 {
+		arrival = 2 * baseline
+		if arrival < 100 {
+			arrival = 100
+		}
+	}
+	log.Printf("cluster: fleet capacity %.0f req/s closed-loop, overloading open-loop at %.0f req/s for %v",
+		baseline, arrival, dur)
+
+	// The overload run spans the whole kill/publish/restart scenario.
+	loadDone := make(chan struct{})
+	var res *loadtest.Result
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		res, loadErr = loadtest.Run(loadtest.Config{
+			BaseURLs: urls, Positional: true, Batch: 4,
+			ArrivalRate: arrival, Duration: dur, Seed: seed + 1,
+		})
+	}()
+
+	time.Sleep(dur / 5)
+	log.Printf("cluster: SIGKILL node %s", b.id)
+	b.kill()
+
+	time.Sleep(dur / 8)
+	// Publish a different concept to a survivor while b is dead; the fleet
+	// fans it out, b must pick it up after restart by anti-entropy alone.
+	pub, err := trainPublishModel(seed)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(a.url()+"/v1/models/default", "application/json", bytes.NewReader(pub))
+	if err != nil {
+		return fmt.Errorf("publish during outage: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("publish during outage: status %d", resp.StatusCode)
+	}
+	want, err := waitDigest(c.url(), "", 20*time.Second)
+	if err != nil {
+		return fmt.Errorf("surviving peer never converged: %w", err)
+	}
+	log.Printf("cluster: published to %s during outage; survivors at version %s", a.id, want.Version)
+
+	time.Sleep(dur / 8)
+	log.Printf("cluster: restarting node %s on %s", b.id, b.addr)
+	restart := time.Now()
+	if err := b.start(bin); err != nil {
+		return err
+	}
+	got, err := waitDigest(b.url(), want.Version, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("restarted node never converged: %w", err)
+	}
+	if got.Hash != want.Hash {
+		return fmt.Errorf("restarted node converged to hash %s, fleet has %s", got.Hash, want.Hash)
+	}
+	converge := time.Since(restart)
+	log.Printf("cluster: node %s converged to %s in %.2fs (anti-entropy pull)",
+		b.id, got.Version, converge.Seconds())
+
+	<-loadDone
+	if loadErr != nil {
+		return loadErr
+	}
+	log.Printf("cluster: overload run ok=%d shed=%d errors=%d 5xx=%d retries=%d",
+		res.OK, res.Shed, res.Errors, res.FiveXX, res.Retries)
+	if res.FiveXX != 0 {
+		return fmt.Errorf("%d admitted requests answered 5xx during kill/restart — the zero-5xx gate failed", res.FiveXX)
+	}
+	if res.OK == 0 {
+		return fmt.Errorf("no successful requests during the overload run")
+	}
+
+	row := clusterRun{
+		Nodes: 3, Dataset: bootSpec,
+		BaselineReqPerSec: baseline, ArrivalRate: arrival,
+		DurationSecs: dur.Seconds(), KilledNode: b.id,
+		ConvergeSecs: converge.Seconds(),
+		OK:           res.OK, Shed: res.Shed, Errors: res.Errors,
+		FiveXX: res.FiveXX, Retries: res.Retries,
+		ShedRate: res.ShedRate(), RowsPerSec: res.RowsPerSec(),
+		PerNode: res.PerNode,
+	}
+	return appendClusterRun(outPath, seed, row)
+}
+
+// trainPublishModel builds the artifact published mid-outage: a concept
+// (F7) distinct from the boot model, so convergence is observable.
+func trainPublishModel(seed int64) ([]byte, error) {
+	ds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 7, Attrs: 9, Tuples: 10000, Seed: seed + 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := parclass.Train(ds, parclass.Options{MaxDepth: 8})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// waitDigest polls a node's "default" digest entry until its version
+// vector moves past the zero-vector seed (wantVersion == "") or matches
+// wantVersion exactly.
+func waitDigest(baseURL, wantVersion string, timeout time.Duration) (cluster.DigestEntry, error) {
+	deadline := time.Now().Add(timeout)
+	var last cluster.DigestEntry
+	for time.Now().Before(deadline) {
+		if st, err := clusterStatus(baseURL); err == nil {
+			last = st.Models["default"]
+			if wantVersion == "" && last.Version != "" {
+				return last, nil
+			}
+			if wantVersion != "" && last.Version == wantVersion {
+				return last, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return last, fmt.Errorf("digest stuck at version %q (want %q) after %v", last.Version, wantVersion, timeout)
+}
+
+// appendClusterRun merges the row into the report at outPath, preserving
+// the build/serve/drift sections the way -serve and -drift do.
+func appendClusterRun(outPath string, seed int64, row clusterRun) error {
+	rep, err := loadOrInitReport(outPath, seed)
+	if err != nil {
+		return err
+	}
+	rep.ClusterRuns = []clusterRun{row}
+	return writeReport(outPath, rep, fmt.Sprintf("1 cluster run, converge=%.2fs", row.ConvergeSecs))
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http/httptest"
 	"os"
@@ -126,6 +127,10 @@ type report struct {
 	// measured time-to-recover after a mid-stream concept flip, with the
 	// retrain-loop counters that produced the recovery.
 	DriftRuns []driftRun `json:"drift_runs,omitempty"`
+	// ClusterRuns are multi-process kill-and-restart fleet scenarios
+	// (`-cluster` mode, see cluster.go): overload survival counters and
+	// the restarted node's anti-entropy convergence time.
+	ClusterRuns []clusterRun `json:"cluster_runs,omitempty"`
 	// LevelSyncCrossoverRows is the measured batch size where the
 	// level-synchronous kernel overtakes the preorder walker on this host
 	// (`-serve` A/B sweep); 0 means the walker won at every size tried.
@@ -164,8 +169,16 @@ func main() {
 		driftAt       = flag.Int("drift-at", 3000, "row offset of the F1→F7 concept flip in -drift mode")
 		driftWindow   = flag.Int("drift-window", 4000, "ingest window capacity in -drift mode")
 		driftInterval = flag.Duration("drift-interval", 200*time.Millisecond, "retrain loop period in -drift mode")
-		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile    = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
+		clusterMode   = flag.Bool("cluster", false,
+			"run the multi-process cluster harness: boot a 3-node parclassd fleet, kill and restart a node under 2x open-loop overload, measure anti-entropy convergence (see -parclassd)")
+		clusterBin = flag.String("parclassd", "bin/parclassd",
+			"prebuilt parclassd binary for -cluster (`make clusterbench` builds it)")
+		clusterDur = flag.Duration("cluster-duration", 8*time.Second,
+			"length of the -cluster overload run spanning the kill/publish/restart scenario")
+		clusterArrival = flag.Float64("cluster-arrival", 0,
+			"open-loop arrival rate for -cluster in req/s (0 = 2x the measured closed-loop fleet capacity)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -188,6 +201,13 @@ func main() {
 
 	if *driftMode {
 		if err := driftBench(*out, *seed, *driftRows, *driftAt, *driftWindow, *driftInterval); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *clusterMode {
+		if err := clusterBench(*out, *clusterBin, *seed, *clusterArrival, *clusterDur); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -528,6 +548,7 @@ func compareReports(oldPath, newPath string) error {
 		return fmt.Errorf("no runs of %s match any run of %s", newPath, oldPath)
 	}
 	compareServeRuns(oldRep, newRep)
+	compareClusterRuns(oldRep, newRep)
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d run(s) regressed by more than %.0f%%: %s",
 			len(regressions), (regressionTolerance-1)*100, strings.Join(regressions, ", "))
@@ -579,6 +600,35 @@ func compareServeRuns(oldRep, newRep *report) {
 	}
 	if oc, nc := oldRep.LevelSyncCrossoverRows, newRep.LevelSyncCrossoverRows; nc != 0 || oc != 0 {
 		fmt.Printf("levelsync crossover: %d -> %d rows\n", oc, nc)
+	}
+	fmt.Println()
+}
+
+// compareClusterRuns prints the cluster-row diff informationally — a
+// 3-node kill/restart scenario on a shared host is even noisier than the
+// serve rows, so it never gates. A row with no baseline (the normal case
+// when a cluster row first lands, or against any pre-cluster file)
+// prints as "(no baseline)" instead of failing the comparison.
+func compareClusterRuns(oldRep, newRep *report) {
+	if len(newRep.ClusterRuns) == 0 {
+		return
+	}
+	key := func(r clusterRun) string {
+		return fmt.Sprintf("cluster/%s/N=%d", r.Dataset, r.Nodes)
+	}
+	oldRuns := make(map[string]clusterRun, len(oldRep.ClusterRuns))
+	for _, r := range oldRep.ClusterRuns {
+		oldRuns[key(r)] = r
+	}
+	fmt.Printf("%-40s %12s %12s\n", "cluster run (informational)", "old conv(s)", "new conv(s)")
+	for _, nr := range newRep.ClusterRuns {
+		k := key(nr)
+		or, ok := oldRuns[k]
+		if !ok {
+			fmt.Printf("%-40s %12s %12.2f  (no baseline)\n", k, "-", nr.ConvergeSecs)
+			continue
+		}
+		fmt.Printf("%-40s %12.2f %12.2f\n", k, or.ConvergeSecs, nr.ConvergeSecs)
 	}
 	fmt.Println()
 }
@@ -732,36 +782,13 @@ func serveBench(outPath, spec string, seed int64, dur time.Duration, conc, batch
 
 	// Append to the existing report so the serving rows live beside the
 	// build sweep in one document; start a fresh one if outPath is new.
-	var rep report
-	if outPath != "" {
-		if buf, err := os.ReadFile(outPath); err == nil {
-			if err := json.Unmarshal(buf, &rep); err != nil {
-				return fmt.Errorf("%s: %w", outPath, err)
-			}
-		}
-	}
-	if rep.Tool == "" {
-		rep = report{
-			Tool: "benchjson", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
-			NumCPU: runtime.NumCPU(), Seed: seed,
-		}
-	}
-	rep.ServeRuns = runs
-	rep.LevelSyncCrossoverRows = crossover
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	rep, err := loadOrInitReport(outPath, seed)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	if outPath == "" {
-		os.Stdout.Write(buf)
-		return nil
-	}
-	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
-		return err
-	}
-	log.Printf("wrote %s (%d serve runs)", outPath, len(runs))
-	return nil
+	rep.ServeRuns = runs
+	rep.LevelSyncCrossoverRows = crossover
+	return writeReport(outPath, rep, fmt.Sprintf("%d serve runs", len(runs)))
 }
 
 // driftBench is `-drift` mode: it trains an F1 model, serves it in-process
@@ -830,11 +857,23 @@ func driftBench(outPath string, seed int64, rows, driftAt, windowCap int, interv
 			dr.Retrains, dr.Swaps, dr.Rejects)
 	}
 
+	rep, err := loadOrInitReport(outPath, seed)
+	if err != nil {
+		return err
+	}
+	rep.DriftRuns = []driftRun{dr}
+	return writeReport(outPath, rep, "1 drift run")
+}
+
+// loadOrInitReport reads the report at path when one exists, or starts a
+// fresh document stamped with the host facts, so every append-mode
+// section (-serve, -drift, -cluster) shares one merge policy.
+func loadOrInitReport(path string, seed int64) (*report, error) {
 	var rep report
-	if outPath != "" {
-		if buf, err := os.ReadFile(outPath); err == nil {
+	if path != "" {
+		if buf, err := os.ReadFile(path); err == nil {
 			if err := json.Unmarshal(buf, &rep); err != nil {
-				return fmt.Errorf("%s: %w", outPath, err)
+				return nil, fmt.Errorf("%s: %w", path, err)
 			}
 		}
 	}
@@ -844,21 +883,30 @@ func driftBench(outPath string, seed int64, rows, driftAt, windowCap int, interv
 			NumCPU: runtime.NumCPU(), Seed: seed,
 		}
 	}
-	rep.DriftRuns = []driftRun{dr}
+	return &rep, nil
+}
+
+// writeReport marshals rep to path (stdout when path is empty).
+func writeReport(path string, rep *report, what string) error {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if outPath == "" {
+	if path == "" {
 		os.Stdout.Write(buf)
 		return nil
 	}
-	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	log.Printf("wrote %s (1 drift run)", outPath)
+	log.Printf("wrote %s (%s)", path, what)
 	return nil
+}
+
+// decodeBody decodes one JSON document from r.
+func decodeBody(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
 }
 
 // levelSyncAB times the forest's two batch kernels directly — the preorder

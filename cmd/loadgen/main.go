@@ -18,6 +18,8 @@
 //	loadgen -positional -batch 16                      # the server's fast path
 //	loadgen -arrival 2000 -batch 16 -duration 10s      # open loop, 2000 req/s
 //	loadgen -no-batch                                  # opt out of micro-batching
+//	loadgen -urls http://h1:8081,http://h2:8082        # fleet mode: consistent-hash
+//	                                                   # routing + per-node backpressure
 //
 // Drift mode streams labeled rows with a mid-stream concept flip into
 // POST /v1/ingest (the server must run with ingest and a retrain loop
@@ -31,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/loadtest"
@@ -41,7 +44,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	var (
-		baseURL     = flag.String("url", "http://localhost:8080", "parclassd base URL")
+		baseURL = flag.String("url", "http://localhost:8080", "parclassd base URL")
+		urls    = flag.String("urls", "",
+			"comma-separated fleet base URLs (overrides -url): requests route by consistent hash with per-node Retry-After backpressure and dead-node failover")
 		model       = flag.String("model", "default", "model name to drive")
 		concurrency = flag.Int("concurrency", 4, "concurrent request workers (closed loop)")
 		batch       = flag.Int("batch", 32, "rows per request (1 sends single-row requests)")
@@ -72,8 +77,15 @@ func main() {
 		return
 	}
 
+	var fleet []string
+	for _, u := range strings.Split(*urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			fleet = append(fleet, strings.TrimSuffix(u, "/"))
+		}
+	}
 	cfg := loadtest.Config{
 		BaseURL:     *baseURL,
+		BaseURLs:    fleet,
 		Model:       *model,
 		Concurrency: *concurrency,
 		Batch:       *batch,
@@ -85,7 +97,15 @@ func main() {
 		ArrivalRate: *arrival,
 		Seed:        *seed,
 	}
-	info, err := loadtest.FetchSchema(*baseURL, *model)
+	target := *baseURL
+	if len(fleet) > 0 {
+		target = fmt.Sprintf("%d-node fleet %s", len(fleet), strings.Join(fleet, ","))
+	}
+	schemaURL := *baseURL
+	if len(fleet) > 0 {
+		schemaURL = fleet[0]
+	}
+	info, err := loadtest.FetchSchema(schemaURL, *model)
 	if err != nil {
 		log.Fatalf("fetching model schema: %v", err)
 	}
@@ -94,7 +114,7 @@ func main() {
 		mode = fmt.Sprintf("open loop, arrival=%.0f req/s", *arrival)
 	}
 	log.Printf("driving %s model=%s: %d attrs, %d classes, batch=%d, %s",
-		*baseURL, *model, len(info.Attrs), len(info.Classes), *batch, mode)
+		target, *model, len(info.Attrs), len(info.Classes), *batch, mode)
 
 	res, err := loadtest.Run(cfg)
 	if err != nil {
@@ -114,6 +134,13 @@ func main() {
 		res.Mean().Round(time.Microsecond),
 		res.Pct(50).Round(time.Microsecond), res.Pct(95).Round(time.Microsecond),
 		res.Pct(99).Round(time.Microsecond), res.Max().Round(time.Microsecond))
+	if len(res.PerNode) > 0 {
+		fmt.Printf("fleet: %d 5xx, %d failover retries\n", res.FiveXX, res.Retries)
+		for _, pn := range res.PerNode {
+			fmt.Printf("  %-28s ok=%-7d shed=%-6d errors=%-5d 5xx=%-5d backoffs=%d\n",
+				pn.URL, pn.OK, pn.Shed, pn.Errors, pn.FiveXX, pn.Backoff)
+		}
+	}
 }
 
 // runDrift is `-drift` mode: the loadtest drift driver against a live

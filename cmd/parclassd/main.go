@@ -22,6 +22,16 @@
 // sheds overload with 429 + Retry-After; -batch-rows 0 disables it. The
 // predict body cap is -predict-max-bytes (413 past it).
 //
+// Cluster mode turns a set of parclassd processes into a replicated
+// serving fleet: give each node a stable -node-id and its peers' URLs in
+// -peers, and a model POSTed to any node (or won by its retrain loop)
+// fans out to all of them under a per-model version vector, while a
+// pull-based anti-entropy loop (-anti-entropy) converges nodes that were
+// down when the push happened. GET /v1/cluster reports per-peer liveness,
+// per-model versions and replication lag:
+//
+//	parclassd -addr :8081 -node-id a -peers http://127.0.0.1:8082,http://127.0.0.1:8083
+//
 // Online learning is on by default: POST /v1/ingest accepts labeled rows
 // into a bounded sliding window (-ingest-window rows; 0 disables the
 // route), and a background loop (-retrain-interval; 0 disables) rebuilds a
@@ -45,6 +55,7 @@ import (
 
 	parclass "repro"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/serve"
 )
@@ -90,6 +101,14 @@ func main() {
 			"hold out every k-th window row to score candidate vs serving (0 = default 5)")
 		retrainMargin = flag.Float64("retrain-margin", 0,
 			"swap only when candidate holdout accuracy beats serving by more than this")
+		nodeID = flag.String("node-id", "",
+			"stable cluster identity (the version-vector axis this node bumps); enables cluster mode")
+		peers = flag.String("peers", "",
+			"comma-separated peer base URLs (http://host:port,...) for model-swap replication; requires -node-id")
+		selfURL = flag.String("self-url", "",
+			"advertised base URL echoed on GET /v1/cluster (default derived from -addr)")
+		antiEntropy = flag.Duration("anti-entropy", cluster.DefaultInterval,
+			"pull-based anti-entropy period: how often this node pulls peer digests to repair missed pushes")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second,
 			"time limit for reading a request's headers (0 = none; Slowloris guard)")
 		readTimeout = flag.Duration("read-timeout", 2*time.Minute,
@@ -111,6 +130,40 @@ func main() {
 	s.SetBuildMonitor(mon)
 	s.SetPredictMaxBytes(*predictMaxBytes)
 	s.SetLevelSyncMode(lsMode)
+
+	// Cluster mode: every local publish (upload or winning retrain swap)
+	// fans out to the peers, and the anti-entropy loop pulls back whatever
+	// a dead interval missed. The node must exist before the retrain loop
+	// starts so a winning swap never races the hook installation.
+	var node *cluster.Node
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" {
+			log.Fatal("cluster: -peers requires -node-id")
+		}
+		self := *selfURL
+		if self == "" {
+			if strings.HasPrefix(*addr, ":") {
+				self = "http://127.0.0.1" + *addr
+			} else {
+				self = "http://" + *addr
+			}
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimSuffix(p, "/"))
+			}
+		}
+		n, err := cluster.New(cluster.Config{
+			ID: *nodeID, Self: self, Peers: peerList, Interval: *antiEntropy,
+		}, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		node = n
+		log.Printf("cluster: node %q at %s, %d peers, anti-entropy every %v",
+			*nodeID, self, len(peerList), *antiEntropy)
+	}
 	if *batchRows > 0 {
 		if err := s.EnableBatching(serve.BatchConfig{
 			MaxRows:    *batchRows,
@@ -152,6 +205,14 @@ func main() {
 		if _, err := s.Load(*name, model, source); err != nil {
 			return err
 		}
+		if node != nil {
+			// Seed with the zero version vector: any real publish anywhere
+			// in the fleet dominates the boot model, and identically
+			// configured nodes seeding the same deterministic build agree.
+			if err := node.Seed(*name, model); err != nil {
+				return err
+			}
+		}
 		st := model.Stats()
 		if nt := model.NumTrees(); nt > 1 {
 			log.Printf("forest %q ready (%s): %d trees, %d nodes, %d leaves, %d levels",
@@ -180,12 +241,18 @@ func main() {
 	} else if err := train(); err != nil {
 		log.Fatal(err)
 	}
+	handler := s.Handler()
+	var stopSync func()
+	if node != nil {
+		handler = node.Handler()
+		stopSync = node.Start()
+	}
 	// Every timeout is flag-overridable; the defaults close slow-header
 	// (Slowloris), slow-body, stuck-response and abandoned keep-alive
 	// connections instead of holding their goroutines forever.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -208,8 +275,11 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// Stop the retrain loop and the micro-batcher's dispatcher after the
-	// listener drains.
+	// Stop the anti-entropy loop, the retrain loop and the micro-batcher's
+	// dispatcher after the listener drains.
+	if stopSync != nil {
+		stopSync()
+	}
 	if stopRetrain != nil {
 		stopRetrain()
 	}

@@ -1,0 +1,154 @@
+package cluster
+
+// The cluster wire surface, layered in front of the node's serve handler:
+//
+//	GET  /v1/cluster                  — Status: per-peer liveness, per-model versions, lag
+//	GET  /v1/cluster/digest           — replica summaries for anti-entropy
+//	GET  /v1/cluster/artifact/{name}  — raw model artifact + X-Parclass-Version
+//	POST /v1/cluster/replicate/{name} — push an artifact (body) + version header
+//
+// Everything else falls through to the wrapped serve.Server, so a peer
+// node speaks the whole single-node API plus these four routes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+const (
+	// versionHeader carries a Version in its String() wire form alongside
+	// artifact bytes (replicate request, artifact response).
+	versionHeader = "X-Parclass-Version"
+	// nodeHeader names the pushing node on replicate requests (diagnostic).
+	nodeHeader = "X-Parclass-Node"
+
+	// maxArtifactBytes caps a replicate request body. Model envelopes are
+	// JSON trees; even wide forests sit far under this.
+	maxArtifactBytes = 256 << 20
+)
+
+// Handler returns the node's full HTTP surface: cluster routes plus the
+// wrapped server's API.
+func (n *Node) Handler() http.Handler {
+	base := n.srv.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster" || strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
+			n.serveCluster(w, r)
+			return
+		}
+		base.ServeHTTP(w, r)
+	})
+}
+
+// serveCluster routes one /v1/cluster request.
+func (n *Node) serveCluster(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/cluster")
+	rest = strings.TrimPrefix(rest, "/")
+	switch {
+	case rest == "":
+		if !allow(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, n.Status())
+	case rest == "digest":
+		if !allow(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, n.Digest())
+	case strings.HasPrefix(rest, "artifact/"):
+		if !allow(w, r, http.MethodGet) {
+			return
+		}
+		n.serveArtifact(w, strings.TrimPrefix(rest, "artifact/"))
+	case strings.HasPrefix(rest, "replicate/"):
+		if !allow(w, r, http.MethodPost) {
+			return
+		}
+		n.serveReplicate(w, r, strings.TrimPrefix(rest, "replicate/"))
+	default:
+		writeErrJSON(w, http.StatusNotFound, "no cluster route %q", r.URL.Path)
+	}
+}
+
+// serveArtifact answers one model's raw artifact with its version.
+func (n *Node) serveArtifact(w http.ResponseWriter, name string) {
+	raw, version, ok := n.artifact(name)
+	if !ok {
+		writeErrJSON(w, http.StatusNotFound, "no replica %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(versionHeader, version.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// replicateResponse is the POST /v1/cluster/replicate/{name} reply.
+type replicateResponse struct {
+	Model string `json:"model"`
+	// Applied reports whether the pushed artifact won the merge and is now
+	// serving; false means it was dominated or lost the tiebreak (the push
+	// still succeeded — the fleet is converged on a newer artifact).
+	Applied bool   `json:"applied"`
+	Version string `json:"version"`
+}
+
+// serveReplicate merges one pushed artifact.
+func (n *Node) serveReplicate(w http.ResponseWriter, r *http.Request, name string) {
+	if name == "" {
+		writeErrJSON(w, http.StatusBadRequest, "replicate needs a model name")
+		return
+	}
+	rv, err := ParseVersion(r.Header.Get(versionHeader))
+	if err != nil {
+		writeErrJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		writeErrJSON(w, http.StatusRequestEntityTooLarge, "reading artifact: %v", err)
+		return
+	}
+	applied, err := n.ApplyRemote(name, raw, rv)
+	if err != nil {
+		writeErrJSON(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	n.mu.Lock()
+	cur := ""
+	if rep := n.replicas[name]; rep != nil {
+		cur = rep.version.String()
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, replicateResponse{Model: name, Applied: applied, Version: cur})
+}
+
+// allow enforces the route's method, answering 405 + Allow otherwise.
+func allow(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeErrJSON(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	return false
+}
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErrJSON renders the serve-style {"error": ...} document.
+func writeErrJSON(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON decodes one JSON document from r into out.
+func decodeJSON(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
+}

@@ -1,0 +1,139 @@
+package cluster
+
+// FaultTransport wraps an http.RoundTripper with deterministic,
+// programmable fault injection for cluster chaos tests — the faultstore
+// idiom (internal/alist/faultstore) ported to peer HTTP: a plan of
+// Nth-matching-call rules, atomic counters, first firing rule wins. Tests
+// script partitions ("drop every call from A to B after the 2nd") and
+// crash windows ("fail all replicate pushes for 3 calls, then heal")
+// without sleeps or real network flakiness, so partition schedules are
+// reproducible under -race.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TransportMode selects what a firing TransportRule does.
+type TransportMode uint8
+
+const (
+	// Drop fails the call with ErrPartitioned before it reaches the wire —
+	// a network partition as the dialer sees it.
+	Drop TransportMode = iota
+	// Slow sleeps the rule's Latency, then sends normally.
+	Slow
+)
+
+// ErrPartitioned is the base error of every dropped call; test with
+// errors.Is.
+var ErrPartitioned = errors.New("cluster: injected partition")
+
+// TransportRule is one entry of a transport fault plan. A call matches
+// when its target URL contains Host (empty matches all hosts) and its
+// path contains Path (empty matches all paths). Of the matching calls,
+// the rule skips the first After, then fires on the next Count of them
+// (Count 0 = every one from then on — a standing partition until Heal).
+type TransportRule struct {
+	Host    string // substring of the target host:port; "" = any
+	Path    string // substring of the URL path; "" = any
+	After   int
+	Count   int
+	Mode    TransportMode
+	Latency time.Duration
+}
+
+// transportRule is a TransportRule plus runtime counters.
+type transportRule struct {
+	TransportRule
+	seen    atomic.Int64
+	fired   atomic.Int64
+	healed  atomic.Bool
+	latched atomic.Bool
+}
+
+// FaultTransport is the programmable RoundTripper. Create with
+// NewFaultTransport and hand it to a Node via Config.Client.
+type FaultTransport struct {
+	inner    http.RoundTripper
+	rules    []*transportRule
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFaultTransport wraps inner (nil = http.DefaultTransport) with rules.
+func NewFaultTransport(inner http.RoundTripper, rules ...TransportRule) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	ft := &FaultTransport{inner: inner}
+	for _, r := range rules {
+		ft.rules = append(ft.rules, &transportRule{TransportRule: r})
+	}
+	return ft
+}
+
+// Calls returns how many requests the transport has seen.
+func (ft *FaultTransport) Calls() int64 { return ft.calls.Load() }
+
+// Injected returns how many requests had a fault injected.
+func (ft *FaultTransport) Injected() int64 { return ft.injected.Load() }
+
+// Heal retires every rule: subsequent calls pass through clean. Models
+// the partition ending or the crashed peer returning.
+func (ft *FaultTransport) Heal() {
+	for _, r := range ft.rules {
+		r.healed.Store(true)
+	}
+}
+
+// Partition installs a standing drop rule for host (matched as a
+// substring) and returns a release function that retires just that rule.
+// The idiom for kill-and-restart schedules:
+//
+//	release := ft.Partition("127.0.0.1:8082")
+//	... drive traffic, assert degraded-but-serving ...
+//	release()
+//	... assert anti-entropy reconverges ...
+func (ft *FaultTransport) Partition(host string) (release func()) {
+	r := &transportRule{TransportRule: TransportRule{Host: host, Mode: Drop}}
+	ft.rules = append(ft.rules, r)
+	return func() { r.healed.Store(true) }
+}
+
+// RoundTrip implements http.RoundTripper.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.calls.Add(1)
+	for _, r := range ft.rules {
+		if r.healed.Load() {
+			continue
+		}
+		if r.Host != "" && !strings.Contains(req.URL.Host, r.Host) {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+			continue
+		}
+		n := r.seen.Add(1)
+		if n <= int64(r.After) {
+			continue
+		}
+		if r.Count > 0 && n > int64(r.After)+int64(r.Count) {
+			continue
+		}
+		r.fired.Add(1)
+		ft.injected.Add(1)
+		switch r.Mode {
+		case Slow:
+			time.Sleep(r.Latency)
+		default: // Drop
+			return nil, fmt.Errorf("%w: %s %s", ErrPartitioned, req.URL.Host, req.URL.Path)
+		}
+		break // first firing rule wins; Slow proceeds to the wire
+	}
+	return ft.inner.RoundTrip(req)
+}

@@ -1,0 +1,155 @@
+// Package cluster is the multi-node serving tier: a replicated model
+// registry over the single-node serve.Server. Every node holds a full
+// replica of every published model artifact (the same v1/v2 JSON envelope
+// WriteModel produces), stamped with a version vector. A model published
+// anywhere — operator upload or retrain swap — is pushed to all peers
+// immediately, and a pull-based anti-entropy loop repairs whatever the
+// push missed (a down node converges on restart). There is no leader and
+// no quorum: model artifacts are immutable values and the version-vector
+// partial order plus a deterministic concurrent-update tiebreak make the
+// replica state a join semilattice, so any exchange order converges. See
+// DESIGN.md ("Version-vector replication, not consensus").
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Version is a version vector: per-node update counters for one model
+// name. A node bumps its own entry when it locally publishes (upload or
+// retrain swap); replication carries the vector alongside the artifact so
+// every replica can order updates causally instead of by wall clock.
+type Version map[string]uint64
+
+// Order is the outcome of comparing two version vectors.
+type Order int
+
+const (
+	// Equal: identical histories.
+	Equal Order = iota
+	// Before: the receiver's history is a strict prefix of the other's —
+	// the other dominates.
+	Before
+	// After: the receiver dominates.
+	After
+	// Concurrent: each side saw updates the other did not; neither
+	// dominates and the tiebreak decides.
+	Concurrent
+)
+
+func (o Order) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return "concurrent"
+	}
+}
+
+// Compare orders v against o in the version-vector partial order.
+func (v Version) Compare(o Version) Order {
+	vAhead, oAhead := false, false
+	for n, c := range v {
+		if c > o[n] {
+			vAhead = true
+		}
+	}
+	for n, c := range o {
+		if c > v[n] {
+			oAhead = true
+		}
+	}
+	switch {
+	case vAhead && oAhead:
+		return Concurrent
+	case vAhead:
+		return After
+	case oAhead:
+		return Before
+	default:
+		return Equal
+	}
+}
+
+// Merge returns the pointwise maximum of v and o — the least vector that
+// dominates both. Used to stamp a concurrent-update winner so the
+// tiebreak decision itself dominates (is sticky) everywhere it spreads.
+func (v Version) Merge(o Version) Version {
+	out := make(Version, len(v)+len(o))
+	for n, c := range v {
+		out[n] = c
+	}
+	for n, c := range o {
+		if c > out[n] {
+			out[n] = c
+		}
+	}
+	return out
+}
+
+// Clone copies v.
+func (v Version) Clone() Version {
+	out := make(Version, len(v))
+	for n, c := range v {
+		out[n] = c
+	}
+	return out
+}
+
+// Bump returns a copy of v with node's counter incremented — the stamp
+// for a local publish on node.
+func (v Version) Bump(node string) Version {
+	out := v.Clone()
+	out[node]++
+	return out
+}
+
+// String renders v in the canonical wire form "a=1,b=2" (node-sorted,
+// empty string for the zero vector). This is the X-Parclass-Version
+// header value and the /v1/cluster JSON form.
+func (v Version) String() string {
+	if len(v) == 0 {
+		return ""
+	}
+	nodes := make([]string, 0, len(v))
+	for n := range v {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	for i, n := range nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, v[n])
+	}
+	return b.String()
+}
+
+// ParseVersion parses the wire form produced by String. The empty string
+// is the zero vector.
+func ParseVersion(s string) (Version, error) {
+	v := Version{}
+	if s = strings.TrimSpace(s); s == "" {
+		return v, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		node, cnt, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("cluster: bad version entry %q", part)
+		}
+		c, err := strconv.ParseUint(cnt, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad version counter in %q: %v", part, err)
+		}
+		v[node] = c
+	}
+	return v, nil
+}

@@ -20,6 +20,12 @@ const (
 	// OutcomeSwapped means the candidate beat the serving model and should
 	// replace it.
 	OutcomeSwapped Outcome = "swapped"
+	// OutcomeStale means the candidate won its holdout but was NOT
+	// published: by swap time the serving model's schema no longer matched
+	// the window the candidate trained on (a concurrent schema-changing hot
+	// swap landed mid-retrain), so installing it would have served a model
+	// validated against a schema the stack no longer speaks.
+	OutcomeStale Outcome = "stale"
 )
 
 // RetrainConfig parameterizes one retrain-with-tripwire step.

@@ -1,0 +1,122 @@
+package loadtest
+
+// Fleet routing: drive a multi-node cluster instead of one server.
+// Config.BaseURLs switches Run into fleet mode — every request is routed
+// by consistent hash (same key, same node, while the fleet is healthy)
+// with a linear probe past nodes that are currently unavailable:
+//
+//   - A node that answers 429 is left alone for exactly the Retry-After
+//     it asked for (the occupancy-scaled hint the server computes) —
+//     per-node backpressure the router respects instead of hammering a
+//     full queue.
+//   - A node that fails at the transport layer (killed process, refused
+//     connection) is marked down for downPenalty and the request retries
+//     once on the next live node, so a crashed peer costs one retry, not
+//     an error.
+//
+// The per-node counters feed Result.PerNode so harnesses can assert the
+// routing actually spread and failed over.
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// downPenalty is how long a transport-erroring node is skipped before the
+// router probes it again. Short enough that a restarted node rejoins the
+// rotation within a second, long enough that a dead one costs ~2 probes/s.
+const downPenalty = 500 * time.Millisecond
+
+// NodeResult is one node's slice of a fleet run.
+type NodeResult struct {
+	URL     string `json:"url"`
+	OK      int64  `json:"ok"`
+	Shed    int64  `json:"shed"`
+	Errors  int64  `json:"errors"`
+	FiveXX  int64  `json:"fivexx"`
+	Backoff int64  `json:"backoffs"` // 429s that installed a Retry-After backoff
+}
+
+// fleetNode is one target with its live routing state.
+type fleetNode struct {
+	url string
+	// backoffUntil / downUntil are unix nanos before which the router
+	// skips this node (Retry-After honored / transport-error penalty).
+	backoffUntil atomic.Int64
+	downUntil    atomic.Int64
+
+	ok, shed, errs, fivexx, backoffs atomic.Int64
+}
+
+// available reports whether the router may send to the node now.
+func (fn *fleetNode) available(now int64) bool {
+	return now >= fn.backoffUntil.Load() && now >= fn.downUntil.Load()
+}
+
+// markBackoff honors a 429's Retry-After hint (whole seconds, RFC 9110).
+func (fn *fleetNode) markBackoff(retryAfter string) {
+	secs, err := strconv.ParseInt(retryAfter, 10, 64)
+	if err != nil || secs <= 0 {
+		return
+	}
+	fn.backoffUntil.Store(time.Now().Add(time.Duration(secs) * time.Second).UnixNano())
+	fn.backoffs.Add(1)
+}
+
+// markDown penalizes a transport failure.
+func (fn *fleetNode) markDown() {
+	fn.downUntil.Store(time.Now().Add(downPenalty).UnixNano())
+}
+
+// fleetRouter picks a node per request key.
+type fleetRouter struct {
+	nodes []*fleetNode
+}
+
+func newFleetRouter(urls []string) *fleetRouter {
+	r := &fleetRouter{}
+	for _, u := range urls {
+		r.nodes = append(r.nodes, &fleetNode{url: u})
+	}
+	return r
+}
+
+// mix is splitmix64's finalizer: spreads sequential request numbers over
+// the ring so "consistent" does not mean "modulo-striped".
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pick routes key: hash to a home node, linear-probe past unavailable
+// ones. When every node is backed off or down, the home node gets the
+// request anyway — shedding at the server beats dropping at the client,
+// and the attempt doubles as the liveness probe that heals the ring.
+func (r *fleetRouter) pick(key uint64) *fleetNode {
+	now := time.Now().UnixNano()
+	n := len(r.nodes)
+	start := int(mix(key) % uint64(n))
+	for i := 0; i < n; i++ {
+		if fn := r.nodes[(start+i)%n]; fn.available(now) {
+			return fn
+		}
+	}
+	return r.nodes[start]
+}
+
+// perNode snapshots the per-node counters.
+func (r *fleetRouter) perNode() []NodeResult {
+	out := make([]NodeResult, len(r.nodes))
+	for i, fn := range r.nodes {
+		out[i] = NodeResult{
+			URL: fn.url, OK: fn.ok.Load(), Shed: fn.shed.Load(),
+			Errors: fn.errs.Load(), FiveXX: fn.fivexx.Load(), Backoff: fn.backoffs.Load(),
+		}
+	}
+	return out
+}

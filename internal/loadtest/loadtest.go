@@ -31,7 +31,11 @@ import (
 // Config selects the target, the traffic shape and the request form.
 type Config struct {
 	BaseURL string // e.g. http://localhost:8080
-	Model   string // registry model name; "" means default
+	// BaseURLs switches to fleet mode: requests are consistent-hash routed
+	// across these nodes with per-node Retry-After backoff and one retry
+	// past transport failures (see fleet.go). Overrides BaseURL when set.
+	BaseURLs []string
+	Model    string // registry model name; "" means default
 
 	Concurrency int  // closed-loop workers (default 4)
 	Batch       int  // rows per request; <= 1 sends single-row forms
@@ -55,11 +59,16 @@ type Config struct {
 // Result is one run's measurements. Latencies holds every successful
 // request's wall time, sorted ascending.
 type Result struct {
-	OK        int64
-	Shed      int64 // 429 responses (admission control), not errors
-	Errors    int64 // transport failures and non-200/429 statuses
-	Rows      int64 // rows successfully classified
-	Elapsed   time.Duration
+	OK      int64
+	Shed    int64 // 429 responses (admission control), not errors
+	Errors  int64 // transport failures and non-200/429 statuses
+	FiveXX  int64 // of Errors, 5xx statuses — an admitted request the server failed
+	Retries int64 // fleet mode: requests re-routed past a transport failure
+	Rows    int64 // rows successfully classified
+	Elapsed time.Duration
+	// PerNode breaks the counters down by target in fleet mode (nil for a
+	// single BaseURL run).
+	PerNode   []NodeResult
 	Latencies []time.Duration
 }
 
@@ -217,7 +226,22 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 10 * time.Second
 	}
-	info, err := FetchSchema(cfg.BaseURL, cfg.Model)
+	urls := cfg.BaseURLs
+	if len(urls) == 0 {
+		urls = []string{cfg.BaseURL}
+	}
+	router := newFleetRouter(urls)
+	// Any live node can answer the schema probe; in fleet mode the first
+	// node may legitimately be down for a kill-and-restart run.
+	var (
+		info *ModelSchema
+		err  error
+	)
+	for _, u := range urls {
+		if info, err = FetchSchema(u, cfg.Model); err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -240,31 +264,58 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		ok, shed, errs, rows atomic.Int64
-		mu                   sync.Mutex
-		lats                 []time.Duration
+		ok, shed, errs, fivexx, retries, rows atomic.Int64
+		mu                                    sync.Mutex
+		lats                                  []time.Duration
 	)
-	shoot := func(buf []byte) {
+	shoot := func(key uint64, buf []byte) {
 		t0 := time.Now()
-		resp, err := client.Post(cfg.BaseURL+"/v1/predict", "application/json", bytes.NewReader(buf))
-		if err != nil {
-			errs.Add(1)
+		for attempt := 0; ; attempt++ {
+			fn := router.pick(key)
+			resp, err := client.Post(fn.url+"/v1/predict", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				// Transport failure: the node is likely dead or restarting.
+				// Penalize it so pick probes elsewhere, and retry this request
+				// once — a killed peer should cost a failover, not an error.
+				fn.markDown()
+				if attempt == 0 && len(router.nodes) > 1 {
+					retries.Add(1)
+					continue
+				}
+				fn.errs.Add(1)
+				errs.Add(1)
+				return
+			}
+			retryAfter := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				d := time.Since(t0)
+				ok.Add(1)
+				fn.ok.Add(1)
+				rows.Add(rowsPerReq)
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			case resp.StatusCode == http.StatusTooManyRequests:
+				// Admission control: honor the node's Retry-After so routing
+				// stays away exactly as long as the server asked. The request
+				// itself is shed, not re-aimed — in open loop the schedule,
+				// not the client's persistence, defines offered load.
+				fn.markBackoff(retryAfter)
+				shed.Add(1)
+				fn.shed.Add(1)
+			case resp.StatusCode >= 500:
+				fivexx.Add(1)
+				fn.fivexx.Add(1)
+				errs.Add(1)
+				fn.errs.Add(1)
+			default:
+				errs.Add(1)
+				fn.errs.Add(1)
+			}
 			return
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-			d := time.Since(t0)
-			ok.Add(1)
-			rows.Add(rowsPerReq)
-			mu.Lock()
-			lats = append(lats, d)
-			mu.Unlock()
-		case http.StatusTooManyRequests:
-			shed.Add(1)
-		default:
-			errs.Add(1)
 		}
 	}
 
@@ -289,15 +340,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 			next = next.Add(interval)
 			buf := body(&cfg, rng, info)
+			key := uint64(seq)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				shoot(buf)
+				shoot(key, buf)
 			}()
 		}
 	} else {
 		// Closed loop: each worker keeps one request in flight.
-		var seq atomic.Int64
+		var seq, reqKey atomic.Int64
 		budget := int64(cfg.Requests)
 		for w := 0; w < cfg.Concurrency; w++ {
 			wg.Add(1)
@@ -312,7 +364,7 @@ func Run(cfg Config) (*Result, error) {
 					} else if time.Now().After(deadline) {
 						return
 					}
-					shoot(body(&cfg, rng, info))
+					shoot(uint64(reqKey.Add(1)), body(&cfg, rng, info))
 				}
 			}(w)
 		}
@@ -323,9 +375,14 @@ func Run(cfg Config) (*Result, error) {
 		OK:        ok.Load(),
 		Shed:      shed.Load(),
 		Errors:    errs.Load(),
+		FiveXX:    fivexx.Load(),
+		Retries:   retries.Load(),
 		Rows:      rows.Load(),
 		Elapsed:   time.Since(start),
 		Latencies: lats,
+	}
+	if len(cfg.BaseURLs) > 0 {
+		res.PerNode = router.perNode()
 	}
 	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
 	return res, nil

@@ -178,12 +178,44 @@ func (b *batcher) submit(p *pendingPredict) bool {
 	}
 }
 
-// retryAfter is the Retry-After header value for shed requests: one linger
-// window, rounded up to a whole second per RFC 9110.
+// maxRetryAfterSecs caps the Retry-After hint: past a minute the estimate
+// says more about a pathological linger configuration than about when the
+// queue will actually have room.
+const maxRetryAfterSecs = 60
+
+// retryAfter is the Retry-After header value for shed requests. The hint
+// scales with the admission queue's actual occupancy: a shed client is
+// told to stay away for the estimated drain time of the CURRENT backlog —
+// the queued requests (at the running average rows per request) divided
+// into MaxRows-row linger windows. The old hint was one linger window
+// regardless of depth, so under sustained overload every shed client
+// retried into a queue that was still full and was shed again, forever.
+// Rounded up to a whole second per RFC 9110, floored at 1s and capped at
+// maxRetryAfterSecs.
 func (b *batcher) retryAfter() string {
-	secs := int64(b.cfg.Linger+time.Second-1) / int64(time.Second)
+	depth := int64(len(b.ch))
+	if depth < 1 {
+		depth = 1
+	}
+	// Rows per request from the live request-size histogram; 1 until any
+	// traffic has completed.
+	avgRows := int64(1)
+	if n := b.s.met.batchRows.count.Load(); n > 0 {
+		if m := b.s.met.batchRows.sum.Load() / n; m > 1 {
+			avgRows = m
+		}
+	}
+	windows := (depth*avgRows + int64(b.cfg.MaxRows) - 1) / int64(b.cfg.MaxRows)
+	if windows < 1 {
+		windows = 1
+	}
+	drain := time.Duration(windows) * b.cfg.Linger
+	secs := int64(drain+time.Second-1) / int64(time.Second)
 	if secs < 1 {
 		secs = 1
+	}
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
 	}
 	return strconv.FormatInt(secs, 10)
 }

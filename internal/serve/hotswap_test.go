@@ -11,6 +11,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	parclass "repro"
+	"repro/internal/ingest"
+	"repro/internal/synth"
 )
 
 // TestModelInfoAtomicUnderSwap hammers GET /v1/model/{name} while another
@@ -238,5 +242,86 @@ func TestCoalescedFallbackRowIndexPerRequest(t *testing.T) {
 		if strings.Contains(msg, leak) {
 			t.Fatalf("fallback error %q leaks the coalesced-group offset (%s)", msg, leak)
 		}
+	}
+}
+
+// TestRetrainSwapRechecksServingSchema is the regression test for the
+// retrain/hot-swap interleaving: a retrain cycle decides to publish its
+// candidate, but between that decision and the registry swap an operator
+// upload installs a model with a DIFFERENT schema. The candidate was
+// trained and holdout-validated against the old schema's window, so
+// publishing it would put a model on the wire that cannot speak the
+// schema the stack just moved to. The old code called Load
+// unconditionally and clobbered the operator's model; the guarded
+// publish must refuse, report OutcomeStale, and leave the new model
+// serving.
+func TestRetrainSwapRechecksServingSchema(t *testing.T) {
+	m := trainModel(t, 1, 2000) // serving: F1 on the canonical 9-attr schema
+	s, ts := newIngestServer(t, m, 4000)
+
+	// Drifted F7 traffic fills the window so the candidate wins its
+	// holdout and the cycle reaches the publish step.
+	st, err := synth.NewStreamer(synth.Config{Function: 7, Tuples: 10000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		ingestRows(t, ts.URL, drawRows(t, st, 500))
+	}
+
+	// The concurrently uploaded model speaks a 12-attribute schema —
+	// structurally different from the window's 9.
+	wds, err := parclass.Synthetic(parclass.SyntheticConfig{
+		Function: 1, Tuples: 1000, Attrs: 12, Seed: 9, Perturbation: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := parclass.Train(wds, parclass.Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// swapGate fires after the tripwire decided to swap but before the
+	// publish — exactly the window the race lives in.
+	ist := s.ing.Load()
+	gateFired := false
+	ist.swapGate = func() {
+		gateFired = true
+		if _, err := s.Load("default", wide, "operator upload mid-retrain"); err != nil {
+			t.Errorf("concurrent upload: %v", err)
+		}
+	}
+
+	res, err := s.RetrainOnce("default", ingest.RetrainConfig{MinRows: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gateFired {
+		t.Fatalf("outcome %q: candidate never won its holdout, race not exercised", res.Outcome)
+	}
+	if res.Outcome != ingest.OutcomeStale {
+		t.Fatalf("outcome %q, want %q: the unconditional publish installed a "+
+			"candidate validated against a schema the server no longer serves",
+			res.Outcome, ingest.OutcomeStale)
+	}
+	if res.Candidate != nil {
+		t.Fatal("stale result still carries the candidate")
+	}
+
+	// The operator's model must still be serving.
+	_, cur := s.current("default")
+	if got := len(cur.model.Schema().Attrs); got != 12 {
+		t.Fatalf("serving model has %d attrs, want 12: retrain clobbered the concurrent upload", got)
+	}
+
+	// The refusal is visible in /v1/metrics.
+	var met metricsSnapshot
+	if code := getJSON(t, ts.URL+"/v1/metrics", &met); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	r := met.Ingest.Retrain
+	if r.Stales != 1 || r.Swaps != 0 || r.LastOutcome != string(ingest.OutcomeStale) {
+		t.Fatalf("retrain counters %+v, want exactly one stale and no swaps", r)
 	}
 }

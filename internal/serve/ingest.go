@@ -9,12 +9,14 @@ package serve
 // counts and the last swap/reject decision.
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	parclass "repro"
 	"repro/internal/dataset"
 	"repro/internal/ingest"
 )
@@ -40,7 +42,13 @@ type ingestState struct {
 	ingested atomic.Int64
 	meter    rateMeter
 
-	cycles, swaps, rejects, skips atomic.Int64
+	cycles, swaps, rejects, skips, stales atomic.Int64
+
+	// swapGate, when non-nil (tests only), runs after a retrain cycle has
+	// decided to swap but before the guarded publish — the window in which
+	// a concurrent schema-changing hot swap can land. Tests use it to make
+	// the race deterministic.
+	swapGate func()
 
 	lastMu sync.Mutex
 	last   *retrainRecord
@@ -251,13 +259,34 @@ func (s *Server) RetrainOnce(name string, cfg ingest.RetrainConfig) (ingest.Resu
 	}
 	switch res.Outcome {
 	case ingest.OutcomeSwapped:
+		if st.swapGate != nil {
+			st.swapGate()
+		}
 		src := fmt.Sprintf("retrain on %d-row window (holdout %.4f > %.4f)",
 			res.TrainRows, res.CandidateAcc, res.ServingAcc)
-		if _, lerr := s.Load(name, res.Candidate, src); lerr != nil {
+		// Publish through the guarded load: the candidate trained on rows
+		// validated against the window's schema, so it may only replace a
+		// serving model that STILL speaks that schema. Re-checking here —
+		// atomically against the registry pointer — closes the race where a
+		// schema-changing hot swap lands between Window.Snapshot and this
+		// publish: the old unconditional Load would have clobbered the new
+		// model with a candidate from the previous schema's world.
+		trainSchema := win.Schema()
+		_, lerr := s.loadGuarded(name, res.Candidate, src, func(old parclass.Predictor) bool {
+			return old != nil && sameSchema(old.Schema(), trainSchema)
+		})
+		switch {
+		case errors.Is(lerr, errStaleGuard):
+			res.Outcome = ingest.OutcomeStale
+			res.Candidate = nil
+			st.stales.Add(1)
+		case lerr != nil:
 			s.RecordFailure(name, lerr)
 			return res, lerr
+		default:
+			st.swaps.Add(1)
+			s.firePublish(name, res.Candidate, nil, src)
 		}
-		st.swaps.Add(1)
 	case ingest.OutcomeRejected:
 		st.rejects.Add(1)
 	default:
@@ -308,6 +337,9 @@ type retrainSnapshot struct {
 	Swaps   int64 `json:"swaps"`
 	Rejects int64 `json:"rejects"`
 	Skips   int64 `json:"skips"`
+	// Stales counts winning candidates dropped because a schema-changing
+	// hot swap landed mid-retrain (see ingest.OutcomeStale).
+	Stales int64 `json:"stales,omitempty"`
 
 	LastOutcome           string    `json:"last_outcome,omitempty"`
 	LastCandidateAccuracy float64   `json:"last_candidate_accuracy,omitempty"`
@@ -340,6 +372,7 @@ func (st *ingestState) snapshot() *ingestSnapshot {
 			Swaps:   st.swaps.Load(),
 			Rejects: st.rejects.Load(),
 			Skips:   st.skips.Load(),
+			Stales:  st.stales.Load(),
 		},
 	}
 	st.mu.Lock()
@@ -360,53 +393,4 @@ func (st *ingestState) snapshot() *ingestSnapshot {
 	}
 	st.lastMu.Unlock()
 	return snap
-}
-
-// rateWindowSecs is the trailing span the ingest rows/s gauge averages
-// over (including the in-progress second, so the gauge responds
-// immediately in short tests and soaks).
-const rateWindowSecs = 10
-
-// rateMeter tracks a per-second event rate with a small ring of one-second
-// buckets. A mutex is fine here: ingest requests are row batches, so the
-// meter is touched once per request, not per row.
-type rateMeter struct {
-	mu     sync.Mutex
-	secs   [rateWindowSecs + 2]int64
-	counts [rateWindowSecs + 2]int64
-}
-
-// add records n events now.
-func (m *rateMeter) add(n int64) {
-	now := time.Now().Unix()
-	i := now % int64(len(m.secs))
-	m.mu.Lock()
-	if m.secs[i] != now {
-		m.secs[i] = now
-		m.counts[i] = 0
-	}
-	m.counts[i] += n
-	m.mu.Unlock()
-}
-
-// rate averages events/s over the trailing rateWindowSecs seconds,
-// clamped to the meter's uptime so a fresh meter is not under-read.
-func (m *rateMeter) rate(uptime time.Duration) float64 {
-	now := time.Now().Unix()
-	var sum int64
-	m.mu.Lock()
-	for i := range m.secs {
-		if age := now - m.secs[i]; age >= 0 && age < rateWindowSecs {
-			sum += m.counts[i]
-		}
-	}
-	m.mu.Unlock()
-	span := uptime.Seconds()
-	if span > rateWindowSecs {
-		span = rateWindowSecs
-	}
-	if span < 1 {
-		span = 1
-	}
-	return float64(sum) / span
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -110,4 +111,72 @@ type routeSnapshot struct {
 
 func (r *routeStats) snapshot() routeSnapshot {
 	return routeSnapshot{Requests: r.requests.Load(), Errors: r.errors.Load()}
+}
+
+// rateWindowSecs is the trailing span the ingest rows/s gauge averages
+// over (including the in-progress second, so the gauge responds
+// immediately in short tests and soaks).
+const rateWindowSecs = 10
+
+// rateMeter tracks a per-second event rate with a small ring of one-second
+// buckets indexed by wall second modulo the ring size. Each bucket carries
+// the absolute second it was written for, and rate sums only buckets whose
+// second falls inside the trailing window — a bucket that wrapped around
+// from an earlier lap of the ring is stale and must never be replayed into
+// the rate, no matter where the ring pointer sits after a silence. A mutex
+// is fine here: ingest requests are row batches, so the meter is touched
+// once per request, not per row.
+type rateMeter struct {
+	// now returns the current wall second; tests inject a fake clock here
+	// to pin the wraparound behavior deterministically. Nil means real time.
+	now func() int64
+
+	mu     sync.Mutex
+	secs   [rateWindowSecs + 2]int64
+	counts [rateWindowSecs + 2]int64
+}
+
+// wallSec is the meter's current second.
+func (m *rateMeter) wallSec() int64 {
+	if m.now != nil {
+		return m.now()
+	}
+	return time.Now().Unix()
+}
+
+// add records n events now.
+func (m *rateMeter) add(n int64) {
+	now := m.wallSec()
+	i := now % int64(len(m.secs))
+	m.mu.Lock()
+	if m.secs[i] != now {
+		m.secs[i] = now
+		m.counts[i] = 0
+	}
+	m.counts[i] += n
+	m.mu.Unlock()
+}
+
+// rate averages events/s over the trailing rateWindowSecs seconds,
+// clamped to the meter's uptime so a fresh meter is not under-read. After
+// a silence longer than the window every bucket's second is stale, so the
+// rate reads exactly 0.
+func (m *rateMeter) rate(uptime time.Duration) float64 {
+	now := m.wallSec()
+	var sum int64
+	m.mu.Lock()
+	for i := range m.secs {
+		if age := now - m.secs[i]; age >= 0 && age < rateWindowSecs {
+			sum += m.counts[i]
+		}
+	}
+	m.mu.Unlock()
+	span := uptime.Seconds()
+	if span > rateWindowSecs {
+		span = rateWindowSecs
+	}
+	if span < 1 {
+		span = 1
+	}
+	return float64(sum) / span
 }

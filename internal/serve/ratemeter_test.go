@@ -1,0 +1,95 @@
+package serve
+
+// Fake-clock tests pinning the rateMeter's trailing-window semantics. The
+// ring indexes buckets by wall second modulo the ring size, so after a
+// silence the ring pointer can land on a bucket written during an earlier
+// lap; the age check must keep that stale count out of the rate. The old
+// meter lived inline in ingest.go with a hardwired time.Now, so none of
+// this was deterministically testable.
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeMeter returns a meter on an injected clock starting at start.
+func fakeMeter(start int64) (*rateMeter, *int64) {
+	now := start
+	return &rateMeter{now: func() int64 { return now }}, &now
+}
+
+// TestRateMeterTrailingWindow checks the basic gauge: events inside the
+// trailing window count, the uptime clamp keeps a fresh meter honest.
+func TestRateMeterTrailingWindow(t *testing.T) {
+	m, now := fakeMeter(1_000)
+	for i := 0; i < 5; i++ {
+		m.add(100)
+		*now++
+	}
+	// 500 events over the last 5s of a 5s uptime → 100/s.
+	if got := m.rate(5 * time.Second); got != 100 {
+		t.Fatalf("rate = %v, want 100", got)
+	}
+	// Same events judged against a long uptime average over the full
+	// 10s window → 50/s.
+	if got := m.rate(time.Hour); got != 50 {
+		t.Fatalf("rate = %v, want 50", got)
+	}
+}
+
+// TestRateMeterSilenceReadsZero is the headline regression: after more
+// than a window of silence every bucket is stale and the gauge must read
+// exactly 0, not replay counts the ring pointer happens to sit on.
+func TestRateMeterSilenceReadsZero(t *testing.T) {
+	m, now := fakeMeter(1_000)
+	for i := 0; i < 5; i++ {
+		m.add(100)
+		*now++
+	}
+	if got := m.rate(time.Hour); got == 0 {
+		t.Fatal("active meter reads 0")
+	}
+	*now += rateWindowSecs + 1
+	if got := m.rate(time.Hour); got != 0 {
+		t.Fatalf("after %ds of silence rate = %v, want exactly 0", rateWindowSecs+1, got)
+	}
+}
+
+// TestRateMeterWraparoundNoReplay fills every ring slot on one lap, then
+// stays silent for exactly one full lap so the ring pointer returns to
+// the same slots. None of the previous lap's counts may leak into the
+// rate, and the first fresh add afterwards must count only itself.
+func TestRateMeterWraparoundNoReplay(t *testing.T) {
+	m, now := fakeMeter(2_000)
+	ring := int64(len(m.secs))
+	for i := int64(0); i < ring; i++ {
+		m.add(7)
+		*now++
+	}
+	*now += ring // silent lap: same slot indices, stale seconds
+	if got := m.rate(time.Hour); got != 0 {
+		t.Fatalf("stale lap replayed into rate: %v, want 0", got)
+	}
+	// This add lands on a slot holding a count from two laps ago; the
+	// second mismatch must reset it rather than accumulate onto it.
+	m.add(3)
+	if got := m.rate(time.Hour); got != 3.0/rateWindowSecs {
+		t.Fatalf("rate after fresh add = %v, want %v", got, 3.0/rateWindowSecs)
+	}
+}
+
+// TestRateMeterWindowBoundary pins the window edges: a bucket aged
+// exactly rateWindowSecs has just fallen out; one second younger is
+// still in.
+func TestRateMeterWindowBoundary(t *testing.T) {
+	m, now := fakeMeter(3_000)
+	m.add(40)
+	*now += rateWindowSecs - 1
+	if got := m.rate(time.Hour); got != 4 {
+		t.Fatalf("bucket aged %ds: rate = %v, want 4", rateWindowSecs-1, got)
+	}
+	*now++
+	if got := m.rate(time.Hour); got != 0 {
+		t.Fatalf("bucket aged %ds: rate = %v, want 0", rateWindowSecs, got)
+	}
+}

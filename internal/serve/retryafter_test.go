@@ -1,0 +1,101 @@
+package serve
+
+// Regression tests for the Retry-After backpressure hint. The old code
+// answered one linger window (rounded up to 1s) regardless of queue
+// depth, so under sustained overload every shed client was invited to
+// retry into a queue that was still full. The hint must scale with the
+// backlog actually observed at shed time.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterScalesWithQueueDepth parks the dispatcher, fills the
+// admission queue, and asserts the shed response's Retry-After covers
+// draining the whole backlog — not the old constant single-linger hint.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	m := trainModel(t, 1, 2000)
+	s, ts := newTestServer(t, m)
+	// MaxRows 1: every queued request needs its own dispatch window, so the
+	// expected drain time of a depth-8 backlog is 8 lingers = 16s.
+	b := enableBatching(t, s, BatchConfig{MaxRows: 1, Linger: 2 * time.Second, QueueDepth: 8})
+	gateEntered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	var once sync.Once
+	b.holdExec = func() { once.Do(func() { gateEntered <- struct{}{} }); <-gate }
+
+	post := func() (*http.Response, error) {
+		body, err := json.Marshal(map[string]any{"row": sampleRow("25")})
+		if err != nil {
+			return nil, err
+		}
+		return http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	}
+
+	// Sacrificial request parks the dispatcher mid-flush; the next 8 fill
+	// the queue to capacity.
+	var wg sync.WaitGroup
+	fire := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp, err := post(); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	fire()
+	<-gateEntered
+	for i := 0; i < 8; i++ {
+		fire()
+	}
+	waitFor(t, func() bool { return len(b.ch) == 8 })
+
+	resp, err := post()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	// depth 8 × one 2s linger window each = 16s. The old constant hint
+	// answered ceil(linger) = 2s no matter how deep the backlog was.
+	if got := resp.Header.Get("Retry-After"); got != "16" {
+		t.Fatalf("Retry-After = %q, want %q (8-deep queue × 2s windows); the constant-hint code answers \"2\"", got, "16")
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestRetryAfterFloorAndCap pins the RFC 9110 whole-second floor and the
+// sanity cap on pathological linger configurations.
+func TestRetryAfterFloorAndCap(t *testing.T) {
+	m := trainModel(t, 1, 2000)
+	s := New("")
+	if _, err := s.Load("default", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Empty queue, microsecond linger: the hint still tells clients a full
+	// second, the smallest honest Retry-After.
+	b := enableBatching(t, s, BatchConfig{MaxRows: 256, Linger: 200 * time.Microsecond, QueueDepth: 4})
+	if got := b.retryAfter(); got != "1" {
+		t.Fatalf("floor: Retry-After = %q, want \"1\"", got)
+	}
+
+	s2 := New("")
+	if _, err := s2.Load("default", m, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// A 2-minute linger estimates a 120s drain even at depth 1; the cap
+	// keeps the hint at a minute.
+	b2 := enableBatching(t, s2, BatchConfig{MaxRows: 1, Linger: 2 * time.Minute, QueueDepth: 4})
+	if got := b2.retryAfter(); got != "60" {
+		t.Fatalf("cap: Retry-After = %q, want \"60\"", got)
+	}
+}

@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -98,6 +99,53 @@ type Server struct {
 	// levelMode is the server-wide batch-kernel selection (a
 	// parclass.LevelSyncMode), applied to every model at Load.
 	levelMode atomic.Int32
+	// swapHook, when set, observes every locally published model version
+	// (uploads and retrain swaps) with its serialized artifact — the seam
+	// the cluster replicator hangs off (see SetSwapHook).
+	swapHook atomic.Pointer[SwapHook]
+}
+
+// SwapHook observes one locally published model version: a successful
+// POST /v1/models/{name} upload or a retrain-loop swap. raw is the
+// artifact as versioned model JSON (the upload body, or the candidate
+// re-serialized), so the observer can ship the exact bytes elsewhere
+// without re-encoding. The hook runs on the publishing goroutine after
+// the registry swap — keep it fast or hand off.
+//
+// Replication-applied loads go through Load directly and do NOT fire the
+// hook; only local publishes do, which is what keeps a replicated swap
+// from echoing around the fleet forever.
+type SwapHook func(name string, m parclass.Predictor, raw []byte, source string)
+
+// SetSwapHook installs the local-publish observer (nil clears it). Safe
+// to call at any time, but install it before serving so no publish is
+// missed.
+func (s *Server) SetSwapHook(h SwapHook) {
+	if h == nil {
+		s.swapHook.Store(nil)
+		return
+	}
+	s.swapHook.Store(&h)
+}
+
+// firePublish invokes the swap hook for a locally published version,
+// serializing the predictor when the caller has no upload bytes in hand.
+func (s *Server) firePublish(name string, m parclass.Predictor, raw []byte, source string) {
+	hp := s.swapHook.Load()
+	if hp == nil {
+		return
+	}
+	if raw == nil {
+		var buf bytes.Buffer
+		if err := m.WriteModel(&buf); err != nil {
+			// A model that cannot re-serialize cannot replicate; surface it
+			// as a degraded-health failure instead of dropping it silently.
+			s.RecordFailure(name, fmt.Errorf("serializing %q for replication: %w", name, err))
+			return
+		}
+		raw = buf.Bytes()
+	}
+	(*hp)(name, m, raw, source)
 }
 
 // SetLevelSyncMode sets the server-wide batch-kernel selection (see
@@ -151,6 +199,17 @@ func New(defaultModel string) *Server {
 // predictor is compiled before publication so no request pays the
 // flat-pool build.
 func (s *Server) Load(name string, m parclass.Predictor, source string) (swapped bool, err error) {
+	return s.loadGuarded(name, m, source, nil)
+}
+
+// loadGuarded is Load with an optional admission guard: the new version
+// is published only while guard(current model) holds, re-checked
+// atomically against the registry pointer (CAS loop), so a publish racing
+// another swap can never install a version its guard would have refused.
+// guard sees nil when the name has no serving model. It returns
+// (published, swapped, err); published is false only when the guard
+// refused.
+func (s *Server) loadGuarded(name string, m parclass.Predictor, source string, guard func(old parclass.Predictor) bool) (swapped bool, err error) {
 	if name == "" {
 		name = s.defaultModel
 	}
@@ -159,11 +218,29 @@ func (s *Server) Load(name string, m parclass.Predictor, source string) (swapped
 	}
 	m.SetLevelSync(parclass.LevelSyncMode(s.levelMode.Load()))
 	sl := s.slot(name, true)
-	old := sl.ptr.Swap(&loadedModel{model: m, loadedAt: time.Now(), source: source})
-	sl.swaps.Add(1)
-	sl.failure.Store(nil) // a successful load ends the degraded state
-	return old != nil, nil
+	lm := &loadedModel{model: m, loadedAt: time.Now(), source: source}
+	for {
+		old := sl.ptr.Load()
+		if guard != nil {
+			var oldm parclass.Predictor
+			if old != nil {
+				oldm = old.model
+			}
+			if !guard(oldm) {
+				return false, errStaleGuard
+			}
+		}
+		if sl.ptr.CompareAndSwap(old, lm) {
+			sl.swaps.Add(1)
+			sl.failure.Store(nil) // a successful load ends the degraded state
+			return old != nil, nil
+		}
+	}
 }
+
+// errStaleGuard reports a loadGuarded publish refused by its guard: the
+// registry moved to a version the guard no longer accepts.
+var errStaleGuard = errors.New("serve: guarded load refused, serving model changed")
 
 // RecordFailure records a failed training or load attempt for name: GET
 // /healthz reports the server degraded — 503 when the name has no serving
@@ -768,8 +845,23 @@ func (s *Server) handleModelSwap(w http.ResponseWriter, r *http.Request) {
 	rs.requests.Add(1)
 	name := r.PathValue("name")
 	// ReadModel itself rejects trailing garbage after the model document
-	// (tree.Read requires io.EOF after the first JSON value).
-	m, err := parclass.ReadModel(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	// (tree.Read requires io.EOF after the first JSON value). With a swap
+	// hook installed the body is buffered first so the hook receives the
+	// exact uploaded artifact bytes; model uploads are rare, so the extra
+	// copy is off every hot path.
+	var (
+		m   parclass.Predictor
+		raw []byte
+		err error
+	)
+	body := http.MaxBytesReader(w, r.Body, maxModelBytes)
+	if s.swapHook.Load() != nil {
+		if raw, err = io.ReadAll(body); err == nil {
+			m, err = parclass.ReadModel(bytes.NewReader(raw))
+		}
+	} else {
+		m, err = parclass.ReadModel(body)
+	}
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -780,11 +872,13 @@ func (s *Server) handleModelSwap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, rs, http.StatusBadRequest, "loading model: %v", err)
 		return
 	}
-	swapped, err := s.Load(name, m, "upload from "+r.RemoteAddr)
+	source := "upload from " + r.RemoteAddr
+	swapped, err := s.Load(name, m, source)
 	if err != nil {
 		writeErr(w, rs, http.StatusBadRequest, "compiling model: %v", err)
 		return
 	}
+	s.firePublish(name, m, raw, source)
 	st := m.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":    name,
